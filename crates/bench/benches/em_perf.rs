@@ -1,0 +1,84 @@
+//! EM performance: cost of one forward-backward/EM step and of a full fit
+//! for both models, across the (M, N, T) grid the paper's configurations
+//! use. These quantify the "identification takes seconds of computation"
+//! claim: a 15000-observation M = 5, N = 2 MMHD fit is the Table II/III
+//! workhorse; M = 40 is the bound-estimation configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcl_probnum::Obs;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Synthetic observation sequence with bursty high-delay/loss episodes.
+fn synth_obs(t: usize, m: usize) -> Vec<Obs> {
+    (0..t)
+        .map(|i| {
+            let phase = i % 50;
+            if phase == 40 {
+                Obs::Loss
+            } else if phase > 35 {
+                Obs::Sym(m as u16)
+            } else {
+                Obs::Sym(1 + ((i * 7) % (m - 1)) as u16)
+            }
+        })
+        .collect()
+}
+
+fn bench_mmhd_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mmhd_em_step");
+    for &(m, n, t) in &[(5usize, 2usize, 5000usize), (5, 2, 15000), (40, 2, 5000)] {
+        let obs = synth_obs(t, m);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let model = dcl_mmhd::Mmhd::empirical_init(&obs, n, m, &mut rng);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("M{m}_N{n}_T{t}")),
+            &(model, obs),
+            |b, (model, obs)| b.iter(|| dcl_mmhd::em_step(model, obs)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_hmm_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hmm_em_step");
+    for &(m, n, t) in &[(5usize, 2usize, 15000usize), (5, 4, 15000)] {
+        let obs = synth_obs(t, m);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let model = dcl_hmm::Hmm::random(n, m, &mut rng);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("M{m}_N{n}_T{t}")),
+            &(model, obs),
+            |b, (model, obs)| b.iter(|| dcl_hmm::em_step(model, obs)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_mmhd_fit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mmhd_fit");
+    g.sample_size(10);
+    let obs = synth_obs(5000, 5);
+    g.bench_function("M5_N2_T5000", |b| {
+        b.iter(|| {
+            dcl_mmhd::fit(
+                &obs,
+                &dcl_mmhd::EmOptions {
+                    num_hidden: 2,
+                    num_symbols: 5,
+                    tol: 1e-4,
+                    max_iters: 50,
+                    seed: 1,
+                    restarts: 1,
+                    restrict_loss_to_observed: true,
+                    empirical_init: true,
+                    tied_loss: false,
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mmhd_step, bench_hmm_step, bench_mmhd_fit);
+criterion_main!(benches);

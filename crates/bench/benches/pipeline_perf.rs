@@ -1,0 +1,84 @@
+//! End-to-end pipeline performance: discretisation, hypothesis tests,
+//! loss-pair extraction and clock-skew fitting on realistic trace sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcl_core::discretize::Discretizer;
+use dcl_core::hyptest::{sdcl_test, wdcl_test, WdclParams};
+use dcl_netsim::packet::ProbeStamp;
+use dcl_netsim::sim::ProbeRecord;
+use dcl_netsim::time::{Dur, Time};
+use dcl_netsim::trace::ProbeTrace;
+use dcl_probnum::Pmf;
+
+fn synth_trace(n: usize, pairs: bool) -> ProbeTrace {
+    let mut records = Vec::with_capacity(n);
+    for i in 0..n {
+        let sent = Time::from_secs(i as f64 * 0.02);
+        let phase = i % 25;
+        let pair = pairs.then_some(((i / 2) as u64, (i % 2) as u8));
+        let mut stamp = ProbeStamp::new(i as u64, pair, sent);
+        let arrival = if phase == 20 {
+            stamp.loss_hop = Some(1);
+            None
+        } else {
+            let owd = 20.0 + ((i * 13) % 140) as f64;
+            Some(sent + Dur::from_millis(owd))
+        };
+        records.push(ProbeRecord { stamp, arrival });
+    }
+    ProbeTrace {
+        records,
+        base_delay: Dur::from_millis(20.0),
+        interval: Dur::from_millis(20.0),
+    }
+}
+
+fn bench_discretize(c: &mut Criterion) {
+    let trace = synth_trace(50_000, false);
+    c.bench_function("discretize_50k", |b| {
+        b.iter(|| {
+            let d = Discretizer::from_trace(&trace, 5, None).unwrap();
+            d.observations(&trace).len()
+        })
+    });
+}
+
+fn bench_tests(c: &mut Criterion) {
+    let pmf = Pmf::from_mass(vec![0.01, 0.02, 0.07, 0.5, 0.4]);
+    let cdf = pmf.cdf();
+    c.bench_function("hypothesis_tests", |b| {
+        b.iter(|| {
+            let s = sdcl_test(&cdf, 0.01);
+            let w = wdcl_test(&cdf, WdclParams::paper_ns(), 0.01);
+            (s.accepted, w.accepted)
+        })
+    });
+}
+
+fn bench_losspair(c: &mut Criterion) {
+    let trace = synth_trace(50_000, true);
+    c.bench_function("losspair_extract_50k", |b| {
+        b.iter(|| dcl_losspair::extract(&trace).pairs.len())
+    });
+}
+
+fn bench_clocksync(c: &mut Criterion) {
+    let points: Vec<(f64, f64)> = (0..60_000)
+        .map(|i| {
+            let t = i as f64 * 0.02;
+            (t, 0.04 + 50e-6 * t + ((i * 7919) % 1000) as f64 * 1e-5)
+        })
+        .collect();
+    c.bench_function("clocksync_fit_60k", |b| {
+        b.iter(|| dcl_clocksync::fit_skew(&points).unwrap().skew)
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_discretize,
+    bench_tests,
+    bench_losspair,
+    bench_clocksync
+);
+criterion_main!(benches);

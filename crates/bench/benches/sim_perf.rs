@@ -1,0 +1,60 @@
+//! Simulator performance: event throughput of the paper's Fig. 4 scenario
+//! and the hot queue-path microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcl_netsim::link::{EnqueueOutcome, Link, LinkConfig};
+use dcl_netsim::packet::{AgentId, LinkId, Packet, Payload};
+use dcl_netsim::scenarios::PathScenario;
+use dcl_netsim::time::{Dur, Time};
+
+fn bench_scenario(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("strongly_10s", |b| {
+        b.iter(|| {
+            let setting = dcl_bench::strongly_setting(10_000_000, 7);
+            let mut sc = PathScenario::build(&setting.config);
+            sc.run(Dur::from_secs(1.0), Dur::from_secs(9.0));
+            sc.sim.events_processed()
+        })
+    });
+    g.finish();
+}
+
+fn bench_queue_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("link");
+    g.bench_function("enqueue_dequeue", |b| {
+        let mut link = Link::new(LinkConfig::droptail(
+            "bench",
+            10_000_000,
+            Dur::from_millis(5.0),
+            1_000_000,
+        ));
+        let mut now = Time::ZERO;
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            let pkt = Packet {
+                id,
+                size: 1000,
+                src: AgentId(0),
+                dst: AgentId(1),
+                route: vec![LinkId(0)].into(),
+                hop: 0,
+                payload: Payload::Udp,
+            };
+            match link.enqueue(pkt, now) {
+                EnqueueOutcome::Accepted { start_tx: Some(t) } => {
+                    now = t;
+                    let _ = link.complete_tx(now);
+                }
+                EnqueueOutcome::Accepted { start_tx: None } => {}
+                EnqueueOutcome::Dropped { .. } => {}
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scenario, bench_queue_path);
+criterion_main!(benches);

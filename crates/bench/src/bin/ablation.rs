@@ -1,0 +1,93 @@
+//! **Ablation study** — quantifies the estimator design choices documented
+//! in DESIGN.md §7 on the two regimes where they matter:
+//!
+//! * empirical-bigram vs random EM initialisation;
+//! * untied (per-state) vs the paper's tied (per-symbol) loss
+//!   probabilities;
+//! * 1 vs 3 random restarts;
+//! * discretisation granularity M ∈ {5, 10}.
+//!
+//! For each variant it reports the total-variation distance of the MMHD
+//! estimate to the simulator's ground-truth virtual distribution and
+//! whether the WDCL verdict is correct.
+//!
+//! Run: `cargo run --release -p dcl-bench --bin ablation [measure_secs]`
+
+use dcl_bench::{no_dcl_setting, print_header, print_row, weakly_setting, ExperimentLog, WARMUP_SECS};
+use dcl_core::discretize::Discretizer;
+use dcl_core::estimators::{GroundTruth, MmhdEstimator, VqdEstimator};
+use dcl_core::hyptest::{wdcl_test, WdclParams};
+use dcl_netsim::trace::ProbeTrace;
+use serde_json::json;
+
+struct Variant {
+    name: &'static str,
+    m: usize,
+    est: MmhdEstimator,
+}
+
+fn variants() -> Vec<Variant> {
+    let base = MmhdEstimator::default();
+    vec![
+        Variant { name: "default (emp, untied, r3, M5)", m: 5, est: MmhdEstimator { restarts: 3, ..base } },
+        Variant { name: "random init", m: 5, est: MmhdEstimator { restarts: 3, empirical_init: false, ..base } },
+        Variant { name: "tied c (paper)", m: 5, est: MmhdEstimator { restarts: 3, tied_loss: true, ..base } },
+        Variant { name: "single restart", m: 5, est: MmhdEstimator { restarts: 1, ..base } },
+        Variant { name: "random + tied (paper exact)", m: 5, est: MmhdEstimator { restarts: 3, empirical_init: false, tied_loss: true, ..base } },
+        Variant { name: "M = 10", m: 10, est: MmhdEstimator { restarts: 3, ..base } },
+    ]
+}
+
+fn evaluate(trace: &ProbeTrace, expect_dominant: bool, log: &ExperimentLog, scenario: &str) {
+    for v in variants() {
+        let disc = match Discretizer::from_trace(trace, v.m, None) {
+            Some(d) => d,
+            None => continue,
+        };
+        let truth = GroundTruth.estimate(trace, &disc).expect("losses");
+        let pmf = match v.est.estimate(trace, &disc) {
+            Some(p) => p,
+            None => continue,
+        };
+        let tv = pmf.total_variation(&truth);
+        let out = wdcl_test(&pmf.cdf(), WdclParams::paper_ns(), 0.01);
+        let correct = out.accepted == expect_dominant;
+        print_row(
+            &format!("  {}", v.name),
+            &[
+                format!("{tv:.3}"),
+                format!("{:.3}", out.f_at_2d_star),
+                if correct { "correct".into() } else { "WRONG".into() },
+            ],
+        );
+        log.record(&json!({
+            "scenario": scenario,
+            "variant": v.name,
+            "m": v.m,
+            "tv_vs_truth": tv,
+            "f_2dstar": out.f_at_2d_star,
+            "correct": correct,
+        }));
+    }
+}
+
+fn main() {
+    let measure: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(dcl_bench::MEASURE_SECS);
+    let log = ExperimentLog::new("ablation");
+    print_header("Ablation", "estimator design choices (DESIGN.md §7)");
+
+    println!("\nweakly dominant setting (expect: accept)");
+    print_row("  variant", &["TV".into(), "F(2d*)".into(), "verdict".into()]);
+    let (trace, _sc) = weakly_setting(2_000_000, 7_000_000, 0xAB1).run(WARMUP_SECS, measure);
+    evaluate(&trace, true, &log, "weakly");
+
+    println!("\nno dominant link (expect: reject)");
+    print_row("  variant", &["TV".into(), "F(2d*)".into(), "verdict".into()]);
+    let (trace, _sc) = no_dcl_setting(1_000_000, 3_000_000, 0xAB2).run(WARMUP_SECS, measure);
+    evaluate(&trace, false, &log, "no-dcl");
+
+    println!("\nrecords: {}", log.path().display());
+}

@@ -1,0 +1,52 @@
+//! **Fig. 11** — adaptive RED queues with *no* dominant congested link:
+//! whether the minimum threshold is 1/20 or 1/2 of the buffer, the
+//! collective behaviour of two congested RED queues still fails the
+//! WDCL-Test, so the method keeps rejecting (correctly).
+//!
+//! Run: `cargo run --release -p dcl-bench --bin fig11 [measure_secs]`
+
+use dcl_bench::{no_dcl_setting, print_header, print_pmf_rows, ExperimentLog, WARMUP_SECS};
+use dcl_core::identify::{identify, IdentifyConfig, Verdict};
+use serde_json::json;
+
+fn main() {
+    let measure: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(dcl_bench::MEASURE_SECS);
+    let log = ExperimentLog::new("fig11");
+
+    print_header(
+        "Fig. 11",
+        "adaptive RED, no dominant link: min_th = buffer/20 vs buffer/2",
+    );
+    // Lossy-hop buffers are 256 packets.
+    for (panel, min_th) in [("(a) min_th = B/20", 12.8), ("(b) min_th = B/2", 128.0)] {
+        let setting =
+            no_dcl_setting(1_000_000, 4_000_000, 0xF21).with_red(&[min_th, 256.0, min_th]);
+        let (trace, _sc) = setting.run(WARMUP_SECS, measure);
+        match identify(&trace, &IdentifyConfig { estimate_bound: false, ..Default::default() }) {
+            Ok(report) => {
+                println!("{panel}: loss rate {:.3}%", trace.loss_rate() * 100.0);
+                print_pmf_rows("mmhd", &report.pmf);
+                let rejected = report.verdict == Verdict::NoDominant;
+                println!(
+                    "  F(2d*) = {:.3}; verdict: {} ({})",
+                    report.wdcl.f_at_2d_star,
+                    report.verdict,
+                    if rejected { "correct" } else { "incorrect" }
+                );
+                log.record(&json!({
+                    "panel": panel,
+                    "min_th": min_th,
+                    "pmf": report.pmf.mass(),
+                    "rejected": rejected,
+                    "f_2dstar": report.wdcl.f_at_2d_star,
+                    "loss_rate": trace.loss_rate(),
+                }));
+            }
+            Err(e) => println!("{panel}: identification impossible: {e}"),
+        }
+    }
+    println!("\nrecords: {}", log.path().display());
+}

@@ -1,0 +1,56 @@
+//! **Fig. 8** — MMHD vs HMM virtual queuing delay PMFs when *no* dominant
+//! congested link exists: the MMHD tracks the ns ground truth (bimodal),
+//! while the HMM's estimate deviates — the paper's argument for MMHD.
+//!
+//! Run: `cargo run --release -p dcl-bench --bin fig8 [measure_secs]`
+
+use dcl_bench::{no_dcl_setting, print_header, print_pmf_rows, ExperimentLog, WARMUP_SECS};
+use dcl_core::discretize::Discretizer;
+use dcl_core::estimators::{GroundTruth, HmmEstimator, MmhdEstimator, VqdEstimator};
+use serde_json::json;
+
+fn main() {
+    let measure: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(dcl_bench::MEASURE_SECS);
+    let log = ExperimentLog::new("fig8");
+
+    print_header(
+        "Fig. 8",
+        "MMHD vs HMM PMFs with no dominant congested link (hop1 1 Mb/s, hop3 3 Mb/s)",
+    );
+    let setting = no_dcl_setting(1_000_000, 3_000_000, 0xF18);
+    let (trace, _sc) = setting.run(WARMUP_SECS, measure);
+    let disc = Discretizer::from_trace(&trace, 5, None).expect("usable trace");
+
+    let ns_virtual = GroundTruth.estimate(&trace, &disc).expect("losses");
+    println!("(a) MMHD");
+    print_pmf_rows("ns-virtual", &ns_virtual);
+    log.record(&json!({"series": "ns-virtual", "pmf": ns_virtual.mass()}));
+
+    for n in [1usize, 2, 4] {
+        let pmf = MmhdEstimator { num_hidden: n, ..MmhdEstimator::default() }
+            .estimate(&trace, &disc)
+            .expect("losses");
+        print_pmf_rows(&format!("mmhd (N={n})"), &pmf);
+        log.record(&json!({
+            "series": format!("mmhd-n{n}"),
+            "pmf": pmf.mass(),
+            "tv_vs_truth": pmf.total_variation(&ns_virtual),
+        }));
+    }
+    println!("(b) HMM");
+    for n in [2usize, 4] {
+        let pmf = HmmEstimator { num_states: n, ..HmmEstimator::default() }
+            .estimate(&trace, &disc)
+            .expect("losses");
+        print_pmf_rows(&format!("hmm (N={n})"), &pmf);
+        log.record(&json!({
+            "series": format!("hmm-n{n}"),
+            "pmf": pmf.mass(),
+            "tv_vs_truth": pmf.total_variation(&ns_virtual),
+        }));
+    }
+    println!("\nrecords: {}", log.path().display());
+}

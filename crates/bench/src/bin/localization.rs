@@ -1,0 +1,68 @@
+//! **Extension** — localising the dominant congested link (§VII future
+//! work): binary search over path prefixes finds which hop is dominant in
+//! O(log K) probing sessions. See `dcl_core::localize`.
+//!
+//! Run: `cargo run --release -p dcl-bench --bin localization [measure_secs]`
+
+use dcl_bench::print_header;
+use dcl_core::identify::IdentifyConfig;
+use dcl_core::localize::{localize, SimulatedPrefixProber};
+use dcl_netsim::scenarios::{HopSpec, TrafficMix, UdpCross};
+use dcl_netsim::time::Dur;
+
+fn main() {
+    let measure: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120.0);
+    print_header(
+        "Localization",
+        "binary search for the dominant congested link over path prefixes",
+    );
+
+    let congested = TrafficMix {
+        ftp_flows: 2,
+        http_sessions: 0,
+        udp: Some(UdpCross {
+            peak_bps: 11_600_000,
+            mean_on: Dur::from_secs(2.0),
+            mean_off: Dur::from_secs(20.0),
+            pkt_size: 1000,
+        }),
+    };
+    let clean = || HopSpec::droptail(100_000_000, 800_000, TrafficMix::none());
+
+    for dominant_pos in [0usize, 2, 5] {
+        let total = 6;
+        let hops: Vec<HopSpec> = (0..total)
+            .map(|i| {
+                if i == dominant_pos {
+                    HopSpec::droptail(10_000_000, 200_000, congested.clone())
+                } else {
+                    clean()
+                }
+            })
+            .collect();
+        let mut prober = SimulatedPrefixProber::new(
+            hops,
+            100_000_000,
+            0x10C,
+            Dur::from_secs(10.0),
+            Dur::from_secs(measure),
+        );
+        let result = localize(
+            &mut prober,
+            &IdentifyConfig {
+                estimate_bound: false,
+                ..IdentifyConfig::default()
+            },
+        );
+        println!(
+            "planted at hop {dominant_pos} of {total}: located = {:?} using {} probing sessions {}",
+            result.hop,
+            result.observations.len(),
+            if result.hop == Some(dominant_pos) { "(correct)" } else { "(WRONG)" }
+        );
+    }
+    println!("\n(a full linear scan would need {} sessions per path)", 6);
+}

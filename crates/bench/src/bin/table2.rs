@@ -1,0 +1,95 @@
+//! **Table II** — strongly dominant congested link: bandwidths, loss
+//! rates, and the maximum-queuing-delay estimates from the model-based
+//! (MMHD) approach and the loss-pair baseline.
+//!
+//! Paper: hop-1 bandwidth swept 0.1–1 Mb/s (here ×10: 1–10 Mb/s, same
+//! `Q_1`; see `dcl-bench`'s settings docs), SDCL-Test accepts in every
+//! setting, and both estimators bound the actual maximum queuing delay to
+//! within a few ms (loss pairs slightly worse).
+//!
+//! Run: `cargo run --release -p dcl-bench --bin table2 [measure_secs]`
+
+use dcl_bench::{print_header, print_row, strongly_setting, ExperimentLog, WARMUP_SECS};
+use dcl_core::identify::{identify, IdentifyConfig, Verdict};
+use dcl_netsim::time::Dur;
+use serde_json::json;
+
+fn main() {
+    let measure: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(dcl_bench::MEASURE_SECS);
+    let log = ExperimentLog::new("table2");
+
+    print_header(
+        "Table II",
+        "strongly dominant congested link: loss rates and max-queuing-delay bounds",
+    );
+    print_row(
+        "setting",
+        &[
+            "link loss".into(),
+            "probe loss".into(),
+            "verdict".into(),
+            "Q1 (B/C)".into(),
+            "Q1 actual".into(),
+            "MMHD bound".into(),
+            "loss-pair".into(),
+        ],
+    );
+
+    for hop1_bps in [1_000_000u64, 4_000_000, 7_000_000, 10_000_000] {
+        let setting = strongly_setting(hop1_bps, 0xDC1);
+        let (trace, sc) = setting.run(WARMUP_SECS, measure);
+        let report = identify(&trace, &IdentifyConfig::default()).expect("usable trace");
+
+        // Ground truth: the drain time lost probes actually saw at hop 1.
+        let loss_hop = sc.route_index_of_hop(0);
+        let actual_q = trace
+            .loss_drains()
+            .iter()
+            .filter(|&&(h, _)| h == loss_hop)
+            .map(|&(_, d)| d)
+            .max()
+            .unwrap_or(Dur::ZERO);
+        let q_nominal = sc.hop_max_queuing_delays()[0];
+        let link_loss = sc.hop_loss_rates()[0];
+
+        // Loss-pair baseline on a pair-probing run of the same setting.
+        let pair_setting = setting.with_pair_probing();
+        let (pair_trace, _) = pair_setting.run(WARMUP_SECS, measure);
+        let analysis = dcl_losspair::extract(&pair_trace);
+        let lp = analysis.max_queuing_delay_estimate(pair_trace.base_delay);
+
+        let verdict = match report.verdict {
+            Verdict::StronglyDominant => "SDCL".to_owned(),
+            Verdict::WeaklyDominant => "WDCL".to_owned(),
+            Verdict::NoDominant => "none".to_owned(),
+        };
+        let mmhd_bound = report.bound_heuristic.or(report.bound_basic);
+        print_row(
+            &setting.label,
+            &[
+                format!("{:.2}%", link_loss * 100.0),
+                format!("{:.2}%", trace.loss_rate() * 100.0),
+                verdict.clone(),
+                format!("{q_nominal}"),
+                format!("{actual_q}"),
+                mmhd_bound.map_or("-".into(), |d| format!("{d}")),
+                lp.map_or("-".into(), |d| format!("{d}")),
+            ],
+        );
+        log.record(&json!({
+            "hop1_bps": hop1_bps,
+            "link_loss": link_loss,
+            "probe_loss": trace.loss_rate(),
+            "verdict": verdict,
+            "q_nominal_ms": q_nominal.as_millis(),
+            "q_actual_ms": actual_q.as_millis(),
+            "mmhd_bound_ms": mmhd_bound.map(|d| d.as_millis()),
+            "losspair_ms": lp.map(|d| d.as_millis()),
+            "loss_pairs": analysis.pairs.len(),
+        }));
+    }
+    println!("\nrecords: {}", log.path().display());
+}

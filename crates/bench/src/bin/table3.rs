@@ -1,0 +1,96 @@
+//! **Table III** — weakly dominant congested link: two lossy hops with
+//! hop 1 carrying ~95 % of the losses; WDCL-Test accepts at
+//! `(ε₁, ε₂) = (0.06, 0)`, and the MMHD bound on hop 1's maximum queuing
+//! delay beats the loss-pair baseline (which the other lossy hop's queue
+//! contaminates).
+//!
+//! Run: `cargo run --release -p dcl-bench --bin table3 [measure_secs]`
+
+use dcl_bench::{print_header, print_row, weakly_setting, ExperimentLog, WARMUP_SECS};
+use dcl_core::identify::{identify, IdentifyConfig, Verdict};
+use dcl_netsim::time::Dur;
+use serde_json::json;
+
+fn main() {
+    let measure: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(dcl_bench::MEASURE_SECS);
+    let log = ExperimentLog::new("table3");
+
+    print_header(
+        "Table III",
+        "weakly dominant congested link: loss split and max-queuing-delay bounds",
+    );
+    print_row(
+        "setting",
+        &[
+            "hop1 loss".into(),
+            "hop3 loss".into(),
+            "hop1 share".into(),
+            "verdict".into(),
+            "Q1 actual".into(),
+            "MMHD bound".into(),
+            "loss-pair".into(),
+        ],
+    );
+
+    for (b1, b3) in [
+        (2_000_000u64, 7_000_000u64),
+        (2_000_000, 5_000_000),
+        (2_500_000, 7_000_000),
+        (2_500_000, 5_000_000),
+    ] {
+        let setting = weakly_setting(b1, b3, 0xDC2);
+        let (trace, sc) = setting.run(WARMUP_SECS, measure);
+        let report = identify(&trace, &IdentifyConfig::default()).expect("usable trace");
+
+        let loss_hop = sc.route_index_of_hop(0);
+        let share = trace.loss_share_by_hop(5);
+        let actual_q = trace
+            .loss_drains()
+            .iter()
+            .filter(|&&(h, _)| h == loss_hop)
+            .map(|&(_, d)| d)
+            .max()
+            .unwrap_or(Dur::ZERO);
+        let rates = sc.hop_loss_rates();
+
+        let pair_setting = setting.with_pair_probing();
+        let (pair_trace, _) = pair_setting.run(WARMUP_SECS, measure);
+        let lp = dcl_losspair::extract(&pair_trace)
+            .max_queuing_delay_estimate(pair_trace.base_delay);
+
+        let verdict = match report.verdict {
+            Verdict::StronglyDominant => "SDCL",
+            Verdict::WeaklyDominant => "WDCL",
+            Verdict::NoDominant => "none",
+        };
+        let mmhd_bound = report.bound_heuristic.or(report.bound_basic);
+        print_row(
+            &setting.label,
+            &[
+                format!("{:.2}%", rates[0] * 100.0),
+                format!("{:.2}%", rates[2] * 100.0),
+                format!("{:.1}%", share[loss_hop] * 100.0),
+                verdict.into(),
+                format!("{actual_q}"),
+                mmhd_bound.map_or("-".into(), |d| format!("{d}")),
+                lp.map_or("-".into(), |d| format!("{d}")),
+            ],
+        );
+        log.record(&json!({
+            "hop1_bps": b1,
+            "hop3_bps": b3,
+            "hop1_loss": rates[0],
+            "hop3_loss": rates[2],
+            "hop1_share": share[loss_hop],
+            "verdict": verdict,
+            "q_actual_ms": actual_q.as_millis(),
+            "mmhd_bound_ms": mmhd_bound.map(|d| d.as_millis()),
+            "losspair_ms": lp.map(|d| d.as_millis()),
+            "f_2dstar": report.wdcl.f_at_2d_star,
+        }));
+    }
+    println!("\nrecords: {}", log.path().display());
+}

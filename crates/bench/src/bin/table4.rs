@@ -1,0 +1,68 @@
+//! **Table IV** — no dominant congested link: two hops with comparable
+//! loss rates; the WDCL-Test at `(0.06, 0)` must reject every setting.
+//!
+//! Run: `cargo run --release -p dcl-bench --bin table4 [measure_secs]`
+
+use dcl_bench::{no_dcl_setting, print_header, print_row, ExperimentLog, WARMUP_SECS};
+use dcl_core::identify::{identify, IdentifyConfig, Verdict};
+use serde_json::json;
+
+fn main() {
+    let measure: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(dcl_bench::MEASURE_SECS);
+    let log = ExperimentLog::new("table4");
+
+    print_header(
+        "Table IV",
+        "no dominant congested link: comparable loss at hops 1 and 3 -> reject",
+    );
+    print_row(
+        "setting",
+        &[
+            "hop1 loss".into(),
+            "hop3 loss".into(),
+            "hop1 share".into(),
+            "F(2d*)".into(),
+            "verdict".into(),
+        ],
+    );
+
+    for (b1, b3) in [
+        (1_000_000u64, 3_000_000u64),
+        (1_000_000, 4_000_000),
+        (1_500_000, 5_000_000),
+        (1_500_000, 4_500_000),
+    ] {
+        let setting = no_dcl_setting(b1, b3, 0xDC4);
+        let (trace, sc) = setting.run(WARMUP_SECS, measure);
+        let report = identify(&trace, &IdentifyConfig::default()).expect("usable trace");
+        let rates = sc.hop_loss_rates();
+        let share = trace.loss_share_by_hop(5);
+        let verdict = match report.verdict {
+            Verdict::StronglyDominant => "SDCL",
+            Verdict::WeaklyDominant => "WDCL",
+            Verdict::NoDominant => "none",
+        };
+        print_row(
+            &setting.label,
+            &[
+                format!("{:.2}%", rates[0] * 100.0),
+                format!("{:.2}%", rates[2] * 100.0),
+                format!("{:.1}%", share[1] * 100.0),
+                format!("{:.3}", report.wdcl.f_at_2d_star),
+                verdict.into(),
+            ],
+        );
+        log.record(&json!({
+            "hop1_bps": b1,
+            "hop3_bps": b3,
+            "hop1_loss": rates[0],
+            "hop3_loss": rates[2],
+            "verdict": verdict,
+            "f_2dstar": report.wdcl.f_at_2d_star,
+        }));
+    }
+    println!("\nrecords: {}", log.path().display());
+}

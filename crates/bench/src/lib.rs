@@ -1,0 +1,18 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! One binary per table/figure of the paper lives in `src/bin/`; this
+//! library holds what they share: the calibrated ns-style scenario
+//! configurations for the three evaluation regimes (strongly / weakly / no
+//! dominant congested link, §VI-A1–A3), and small table/series printing
+//! helpers so every binary emits the same report format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod settings;
+
+pub use report::{print_header, print_pmf_rows, print_row, ExperimentLog};
+pub use settings::{
+    no_dcl_setting, strongly_setting, weakly_setting, NsSetting, MEASURE_SECS, WARMUP_SECS,
+};

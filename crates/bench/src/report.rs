@@ -1,0 +1,89 @@
+//! Uniform report output for the experiment binaries.
+//!
+//! Each binary prints a human-readable table (the paper's rows/series) to
+//! stdout and can append machine-readable JSON records to
+//! `target/experiments/<name>.jsonl` for EXPERIMENTS.md bookkeeping.
+
+use dcl_probnum::Pmf;
+use serde::Serialize;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Print an experiment header.
+pub fn print_header(id: &str, title: &str) {
+    println!("==============================================================");
+    println!("{id}: {title}");
+    println!("==============================================================");
+}
+
+/// Print one table row: a label column plus value columns.
+pub fn print_row(label: &str, cells: &[String]) {
+    print!("{label:<44}");
+    for c in cells {
+        print!(" {c:>14}");
+    }
+    println!();
+}
+
+/// Print a PMF as `symbol probability` rows prefixed by a series name —
+/// the "series" the paper's figures plot.
+pub fn print_pmf_rows(series: &str, pmf: &Pmf) {
+    for (i, &p) in pmf.mass().iter().enumerate() {
+        println!("  {series:<24} symbol {:>3}  p = {:.4}", i + 1, p);
+    }
+}
+
+/// JSON-lines logger for experiment records.
+pub struct ExperimentLog {
+    path: PathBuf,
+}
+
+impl ExperimentLog {
+    /// Create (truncate) the log for experiment `name` under
+    /// `target/experiments/`.
+    pub fn new(name: &str) -> ExperimentLog {
+        let dir = PathBuf::from("target/experiments");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join(format!("{name}.jsonl"));
+        let _ = fs::File::create(&path);
+        ExperimentLog { path }
+    }
+
+    /// Append one JSON record.
+    pub fn record<T: Serialize>(&self, value: &T) {
+        if let Ok(mut f) = fs::OpenOptions::new().append(true).open(&self.path) {
+            if let Ok(line) = serde_json::to_string(value) {
+                let _ = writeln!(f, "{line}");
+            }
+        }
+    }
+
+    /// Where the log lives.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_appends_json_lines() {
+        let log = ExperimentLog::new("unit-test-log");
+        log.record(&serde_json::json!({"a": 1}));
+        log.record(&serde_json::json!({"b": 2.5}));
+        let text = std::fs::read_to_string(log.path()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"a\":1"));
+    }
+
+    #[test]
+    fn print_helpers_do_not_panic() {
+        print_header("T1", "demo");
+        print_row("row", &["1".into(), "2".into()]);
+        print_pmf_rows("demo", &Pmf::from_mass(vec![0.5, 0.5]));
+    }
+}

@@ -1,0 +1,268 @@
+//! Calibrated ns-style scenario settings for §VI-A.
+//!
+//! The paper's Fig. 4 topology: three hop links between four routers, with
+//! 10 Mb/s access links on both ends. The three regimes differ in which
+//! hops carry losses:
+//!
+//! * **strongly** (§VI-A1, Table II): only hop 1 loses packets; its
+//!   bandwidth is the experiment's knob (0.1–1 Mb/s, buffer 20 kB), hops 2
+//!   and 3 are 10 Mb/s with 80 kB buffers and light, loss-free cross
+//!   traffic;
+//! * **weakly** (§VI-A2, Table III): hops 1 and 3 both lose, with hop 1
+//!   carrying ≈ 95 % of the losses (buffers 25.6 / 76.8 / 25.6 kB);
+//! * **none** (§VI-A3, Table IV): hops 1 and 3 lose at comparable rates
+//!   (buffers 25.6 / 128 / 25.6 kB).
+//!
+//! The traffic mixes reproduce the paper's third (and richest) condition —
+//! FTP + HTTP TCP plus on–off UDP — with intensities calibrated so the
+//! emergent loss rates land in the paper's ranges. Durations are scaled
+//! down from the paper's 2000 s runs (documented per experiment in
+//! EXPERIMENTS.md); the defaults below give 15000 probes per trace.
+//!
+//! **Bandwidth scaling.** All link bandwidths and buffers are 10x the
+//! paper's figures (e.g. the paper's 0.2 Mb/s, 25.6 kB lossy hop becomes
+//! 2 Mb/s, 256 kB here). Every maximum queuing delay `Q_k` is therefore
+//! *identical* to the paper's. The reason: our droptail queues are
+//! packet-count based like ns defaults, so on a sub-Mb/s link (tens of
+//! data packets per second) the 50/s probe stream would occupy most of the
+//! buffer slots and stop being non-intrusive — the paper's premise that a
+//! lost probe sees a queue full of *data* would no longer hold. At 10x the
+//! rates, probes are a small minority of arrivals on every hop.
+
+use dcl_netsim::probe::ProbePattern;
+use dcl_netsim::scenarios::{HopSpec, PathScenario, PathScenarioConfig, TrafficMix, UdpCross};
+use dcl_netsim::time::Dur;
+use dcl_netsim::trace::ProbeTrace;
+
+/// Warm-up before measurements start (seconds).
+pub const WARMUP_SECS: f64 = 30.0;
+/// Default measurement window (seconds); 300 s of 20 ms probes = 15000
+/// observations (the paper uses 1000 s).
+pub const MEASURE_SECS: f64 = 300.0;
+
+/// A named, runnable ns-style setting.
+#[derive(Debug, Clone)]
+pub struct NsSetting {
+    /// Human-readable label ("hop1 = 0.4 Mb/s").
+    pub label: String,
+    /// The scenario configuration (rebuild per run for determinism).
+    pub config: PathScenarioConfig,
+    /// Hop index (0-based) of the intended dominant/lossy link, if any.
+    pub dominant_hop: Option<usize>,
+}
+
+impl NsSetting {
+    /// Build and run the scenario: warm up, measure, return the trace and
+    /// the scenario (for ground-truth queries).
+    pub fn run(&self, warmup_secs: f64, measure_secs: f64) -> (ProbeTrace, PathScenario) {
+        let mut sc = PathScenario::build(&self.config);
+        let trace = sc.run(
+            Dur::from_secs(warmup_secs),
+            Dur::from_secs(measure_secs),
+        );
+        (trace, sc)
+    }
+
+    /// The same setting probing with back-to-back pairs (for the loss-pair
+    /// baseline; pairs every 40 ms carry the same load as singles every
+    /// 20 ms, exactly the paper's protocol).
+    pub fn with_pair_probing(&self) -> NsSetting {
+        let mut s = self.clone();
+        s.config.probe_pattern = ProbePattern::Pairs {
+            interval: Dur::from_millis(40.0),
+        };
+        s.label = format!("{} (pairs)", self.label);
+        s
+    }
+
+    /// Override the scenario seed (for repeated trials).
+    pub fn with_seed(&self, seed: u64) -> NsSetting {
+        let mut s = self.clone();
+        s.config.seed = seed;
+        s
+    }
+
+    /// Switch every hop to adaptive RED with the given minimum threshold
+    /// (in packets); `max_th = 3 min_th`, gentle mode (§VI-A5).
+    pub fn with_red(&self, min_th_per_hop: &[f64]) -> NsSetting {
+        let mut s = self.clone();
+        assert_eq!(min_th_per_hop.len(), s.config.hops.len());
+        for (hop, &th) in s.config.hops.iter_mut().zip(min_th_per_hop) {
+            hop.red_min_th = Some(th);
+        }
+        s.label = format!("{} (RED)", self.label);
+        s
+    }
+}
+
+/// Light cross traffic for an uncongested 100 Mb/s hop: bursty UDP at a
+/// fraction of capacity plus a couple of HTTP sessions — real queuing, no
+/// loss.
+fn light_mix(udp_peak_bps: u64) -> TrafficMix {
+    TrafficMix {
+        ftp_flows: 0,
+        http_sessions: 2,
+        udp: Some(UdpCross {
+            peak_bps: udp_peak_bps,
+            mean_on: Dur::from_millis(500.0),
+            mean_off: Dur::from_secs(1.0),
+            pkt_size: 1000,
+        }),
+    }
+}
+
+/// Burst mix: light HTTP background plus a UDP source whose ON bursts
+/// overshoot the hop bandwidth enough to fill the buffer and overflow it,
+/// then leave the queue to drain — the queue spends most of its time low
+/// and occasionally hits the top, which is what keeps the loss episodes of
+/// different hops *separated* in delay (the paper's bimodal Fig. 8 shape).
+fn burst_mix(hop_bps: u64, on_secs: f64, off_secs: f64, peak_frac: f64) -> TrafficMix {
+    TrafficMix {
+        ftp_flows: 0,
+        http_sessions: 2,
+        udp: Some(UdpCross {
+            peak_bps: (hop_bps as f64 * peak_frac) as u64,
+            mean_on: Dur::from_secs(on_secs),
+            mean_off: Dur::from_secs(off_secs),
+            pkt_size: 1000,
+        }),
+    }
+}
+
+fn scaled_config(hops: Vec<HopSpec>, seed: u64) -> PathScenarioConfig {
+    let mut cfg = PathScenarioConfig::new(hops, seed);
+    // 10x the paper's 10 Mb/s access links (see module docs).
+    cfg.access_bps = 100_000_000;
+    cfg
+}
+
+/// §VI-A1 / Table II: a strongly dominant congested link at hop 1 with the
+/// given bandwidth. The paper sweeps 0.1-1 Mb/s with a 20 kB buffer; with
+/// the 10x scaling this is 1-10 Mb/s with a 200 kB buffer, giving the same
+/// `Q_1` range (1600 ms down to 160 ms). Hops 2 and 3 are 100 Mb/s with
+/// 800 kB buffers (`Q = 64 ms`, as in the paper) and light, loss-free
+/// cross traffic.
+pub fn strongly_setting(hop1_bps: u64, seed: u64) -> NsSetting {
+    // Two persistent flows plus an on-off UDP source whose ON periods
+    // overshoot the hop by ~1.6 Mb/s: the queue *climbs gradually* through
+    // its whole range (probes sample every delay bin, so the observed
+    // maximum reaches Q_1 and the bound estimates are tight, as in the
+    // paper) and then plateaus at full for ~1 s, producing the losses.
+    let excess_bps = 1_600_000.0;
+    let mix = TrafficMix {
+        ftp_flows: 2,
+        http_sessions: 0,
+        udp: Some(UdpCross {
+            peak_bps: (hop1_bps as f64 + excess_bps) as u64,
+            mean_on: Dur::from_secs(2.0),
+            mean_off: Dur::from_secs(20.0),
+            pkt_size: 1000,
+        }),
+    };
+    let hops = vec![
+        HopSpec::droptail(hop1_bps, 200_000, mix),
+        HopSpec::droptail(100_000_000, 800_000, light_mix(30_000_000)),
+        HopSpec::droptail(100_000_000, 800_000, light_mix(20_000_000)),
+    ];
+    NsSetting {
+        label: format!("strongly, hop1 = {:.1} Mb/s", hop1_bps as f64 / 1e6),
+        config: scaled_config(hops, seed),
+        dominant_hop: Some(0),
+    }
+}
+
+/// §VI-A2 / Table III: a weakly dominant congested link. Hop 1 (bandwidth
+/// `hop1_bps`, buffer 256 kB) carries ~95 % of the losses; hop 3
+/// (bandwidth `hop3_bps`, buffer 256 kB) loses lightly; hop 2 is 10 Mb/s
+/// with a 768 kB buffer (`Q_2 = 614 ms`) and never loses. With the paper's
+/// 10x-scaled values (hop 1 at 2 Mb/s: `Q_1 = 1024 ms`), `Q_1` exceeds the
+/// aggregate of the other queues whenever they are not simultaneously
+/// full, so the delay condition of Definition 2 holds.
+pub fn weakly_setting(hop1_bps: u64, hop3_bps: u64, seed: u64) -> NsSetting {
+    // Hop 1: persistent TCP plus regular overshoot bursts -> a few percent
+    // loss. Hop 3: barely-overflowing rare bursts -> a handful of losses
+    // (< 6 % of the path total).
+    let mut hop1_mix = burst_mix(hop1_bps, 1.2, 18.0, 2.2);
+    hop1_mix.ftp_flows = 2;
+    let hops = vec![
+        HopSpec::droptail(hop1_bps, 256_000, hop1_mix),
+        HopSpec::droptail(10_000_000, 768_000, light_mix(4_000_000)),
+        HopSpec::droptail(hop3_bps, 256_000, burst_mix(hop3_bps, 0.55, 40.0, 1.6)),
+    ];
+    NsSetting {
+        label: format!(
+            "weakly, hop1 = {:.2} Mb/s, hop3 = {:.2} Mb/s",
+            hop1_bps as f64 / 1e6,
+            hop3_bps as f64 / 1e6
+        ),
+        config: scaled_config(hops, seed),
+        dominant_hop: Some(0),
+    }
+}
+
+/// §VI-A3 / Table IV: no dominant congested link — hops 1 and 3 lose at
+/// comparable rates (256 kB buffers), hop 2 is 10 Mb/s with a 1.28 MB
+/// buffer (`Q_2 = 1024 ms`) and no loss. 10x the paper's 0.1/0.2 Mb/s
+/// settings: `Q_1 = 2048 ms`, `Q_3 = 1024 ms` at the default bandwidths.
+pub fn no_dcl_setting(hop1_bps: u64, hop3_bps: u64, seed: u64) -> NsSetting {
+    // Both lossy hops are *burst*-congested: their queues are usually low
+    // and only occasionally full, so losses at hop 1 (seeing ~Q_1) and at
+    // hop 3 (seeing ~Q_3 plus whatever hop 1 held) stay separated in delay
+    // — the bimodal virtual distribution of the paper's Fig. 8.
+    // Long ON times: most of each burst is an overflow *plateau*, so the
+    // bulk of a hop's visits to its top delay bin are losses — which is
+    // what keeps the estimator's per-bin loss probabilities honest.
+    let hops = vec![
+        HopSpec::droptail(hop1_bps, 256_000, burst_mix(hop1_bps, 3.0, 40.0, 2.2)),
+        HopSpec::droptail(10_000_000, 1_280_000, light_mix(4_000_000)),
+        HopSpec::droptail(hop3_bps, 256_000, burst_mix(hop3_bps, 1.5, 30.0, 2.2)),
+    ];
+    NsSetting {
+        label: format!(
+            "no-dcl, hop1 = {:.2} Mb/s, hop3 = {:.2} Mb/s",
+            hop1_bps as f64 / 1e6,
+            hop3_bps as f64 / 1e6
+        ),
+        config: scaled_config(hops, seed),
+        dominant_hop: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strongly_setting_loses_only_at_hop1() {
+        let setting = strongly_setting(10_000_000, 42);
+        let (trace, sc) = setting.run(20.0, 120.0);
+        assert!(trace.loss_rate() > 0.002, "loss {}", trace.loss_rate());
+        let share = trace.loss_share_by_hop(5);
+        assert!(share[1] > 0.99, "{share:?}");
+        assert_eq!(sc.hop_max_queuing_delays()[0], Dur::from_millis(160.0));
+    }
+
+    #[test]
+    fn weakly_setting_concentrates_but_not_all_losses_at_hop1() {
+        let setting = weakly_setting(2_000_000, 7_000_000, 42);
+        let (trace, sc) = setting.run(30.0, 400.0);
+        let share = trace.loss_share_by_hop(5);
+        assert!(share[1] > 0.85 && share[1] < 1.0, "hop1 share {share:?}");
+        assert!(share[3] > 0.0, "hop3 must lose a little: {share:?}");
+        // The paper's Q values survive the 10x scaling.
+        let q = sc.hop_max_queuing_delays();
+        assert_eq!(q[0], Dur::from_millis(1024.0));
+        assert_eq!(q[1], Dur::from_millis(614.4));
+    }
+
+    #[test]
+    fn no_dcl_setting_spreads_losses() {
+        let setting = no_dcl_setting(1_000_000, 2_000_000, 42);
+        let (trace, _sc) = setting.run(30.0, 400.0);
+        let share = trace.loss_share_by_hop(5);
+        assert!(
+            share[1] > 0.2 && share[3] > 0.2,
+            "losses must be comparable: {share:?}"
+        );
+    }
+}

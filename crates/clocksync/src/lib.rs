@@ -1,0 +1,227 @@
+//! Clock offset and skew removal for one-way delay measurements.
+//!
+//! The paper's Internet experiments timestamp probes with *unsynchronised*
+//! sender and receiver clocks and cite Zhang, Liu & Xia (INFOCOM 2002) for
+//! removing the resulting offset and skew. This crate implements the
+//! standard linear-programming formulation of that family of algorithms
+//! (also Moon, Skelly & Towsley): find the line `l(t) = α t + β` lying
+//! *below* every measured one-way delay that minimises the total vertical
+//! distance to the data,
+//!
+//! ```text
+//! minimise   Σ_i (d_i − α t_i − β)
+//! subject to d_i ≥ α t_i + β          for all i
+//! ```
+//!
+//! `α` is the relative clock skew (seconds of drift per second); the
+//! skew-corrected delays `d_i − α t_i` have a constant clock offset folded
+//! into them, which downstream consumers treat exactly like an unknown
+//! propagation delay (the identification method only ever uses delays
+//! relative to their minimum). The optimal line passes through an edge of
+//! the lower convex hull of the points, so the exact optimum is found by
+//! scanning the hull — O(n log n) overall.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a skew fit.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SkewFit {
+    /// Relative skew `α` (delay units per time unit).
+    pub skew: f64,
+    /// Intercept `β` of the fitted lower envelope at `t = 0`.
+    pub intercept: f64,
+    /// Mean residual `d_i − (α t_i + β)` (all residuals are ≥ 0).
+    pub mean_residual: f64,
+}
+
+impl SkewFit {
+    /// Skew- (but not offset-) corrected delay for a point.
+    pub fn correct(&self, t: f64, d: f64) -> f64 {
+        d - self.skew * t
+    }
+}
+
+/// Fit the lower linear envelope to `(t, d)` pairs.
+///
+/// Returns `None` for fewer than two points or non-finite input. Points
+/// need not be sorted; ties in `t` are handled by keeping the smaller `d`.
+pub fn fit_skew(points: &[(f64, f64)]) -> Option<SkewFit> {
+    if points.len() < 2 || points.iter().any(|&(t, d)| !t.is_finite() || !d.is_finite()) {
+        return None;
+    }
+    let mut pts: Vec<(f64, f64)> = points.to_vec();
+    pts.sort_by(|a, b| a.partial_cmp(b).expect("finite points"));
+    // Deduplicate equal t, keeping the lowest delay (only the envelope
+    // matters).
+    let mut dedup: Vec<(f64, f64)> = Vec::with_capacity(pts.len());
+    for p in pts {
+        match dedup.last_mut() {
+            Some(last) if last.0 == p.0 => last.1 = last.1.min(p.1),
+            _ => dedup.push(p),
+        }
+    }
+    if dedup.len() < 2 {
+        // All points share one t: any skew fits; report zero skew through
+        // the minimum.
+        let (t, d) = dedup[0];
+        let sum: f64 = points.iter().map(|&(_, di)| di - d).sum();
+        return Some(SkewFit {
+            skew: 0.0,
+            intercept: d - 0.0 * t,
+            mean_residual: sum / points.len() as f64,
+        });
+    }
+
+    let hull = lower_hull(&dedup);
+    // Precompute sums for the linear objective
+    // Σ(d_i − α t_i − β) = Σd − α Σt − n β.
+    let n = points.len() as f64;
+    let sum_t: f64 = points.iter().map(|p| p.0).sum();
+    let sum_d: f64 = points.iter().map(|p| p.1).sum();
+
+    let mut best: Option<(f64, f64, f64)> = None; // (objective, alpha, beta)
+    for w in hull.windows(2) {
+        let (t0, d0) = w[0];
+        let (t1, d1) = w[1];
+        let alpha = (d1 - d0) / (t1 - t0);
+        let beta = d0 - alpha * t0;
+        let obj = sum_d - alpha * sum_t - n * beta;
+        if best.is_none_or(|(o, _, _)| obj < o) {
+            best = Some((obj, alpha, beta));
+        }
+    }
+    let (obj, skew, intercept) = best?;
+    Some(SkewFit {
+        skew,
+        intercept,
+        mean_residual: (obj / n).max(0.0),
+    })
+}
+
+/// Remove skew from a series of `(send time, one-way delay)` measurements,
+/// returning the corrected delays in input order (offset retained).
+///
+/// Falls back to the raw delays if a fit is impossible (fewer than two
+/// points).
+pub fn remove_skew(points: &[(f64, f64)]) -> Vec<f64> {
+    match fit_skew(points) {
+        Some(fit) => points.iter().map(|&(t, d)| fit.correct(t, d)).collect(),
+        None => points.iter().map(|&(_, d)| d).collect(),
+    }
+}
+
+/// Lower convex hull of points sorted by `t` (Andrew's monotone chain).
+fn lower_hull(sorted: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut hull: Vec<(f64, f64)> = Vec::with_capacity(sorted.len());
+    for &p in sorted {
+        while hull.len() >= 2 {
+            let a = hull[hull.len() - 2];
+            let b = hull[hull.len() - 1];
+            // Keep b only if it turns counter-clockwise (stays below).
+            let cross = (b.0 - a.0) * (p.1 - a.1) - (b.1 - a.1) * (p.0 - a.0);
+            if cross <= 0.0 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(p);
+    }
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_planted_skew_exactly_on_clean_data() {
+        // d = 10 + 0.003 t, plus non-negative "queuing" noise on most
+        // points; every 10th point sits exactly on the envelope.
+        let mut pts = Vec::new();
+        for i in 0..500 {
+            let t = i as f64;
+            let noise = if i % 10 == 0 {
+                0.0
+            } else {
+                ((i * 37) % 17) as f64 * 0.3 + 0.1
+            };
+            pts.push((t, 10.0 + 0.003 * t + noise));
+        }
+        let fit = fit_skew(&pts).unwrap();
+        assert!((fit.skew - 0.003).abs() < 1e-9, "skew {}", fit.skew);
+        assert!((fit.intercept - 10.0).abs() < 1e-9);
+        let corrected = remove_skew(&pts);
+        // Corrected envelope is flat: every 10th point equals the offset.
+        for i in (0..500).step_by(10) {
+            assert!((corrected[i] - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn residuals_are_nonnegative() {
+        let pts: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                let t = i as f64;
+                (t, 5.0 - 0.001 * t + ((i * 13) % 7) as f64)
+            })
+            .collect();
+        let fit = fit_skew(&pts).unwrap();
+        for &(t, d) in &pts {
+            assert!(d - (fit.skew * t + fit.intercept) >= -1e-9);
+        }
+        assert!(fit.mean_residual >= 0.0);
+    }
+
+    #[test]
+    fn negative_skew_is_recovered() {
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| (i as f64, 50.0 - 0.02 * i as f64))
+            .collect();
+        let fit = fit_skew(&pts).unwrap();
+        assert!((fit.skew + 0.02).abs() < 1e-9);
+        assert!(fit.mean_residual.abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_few_points_is_none() {
+        assert!(fit_skew(&[]).is_none());
+        assert!(fit_skew(&[(0.0, 1.0)]).is_none());
+        assert_eq!(remove_skew(&[(0.0, 1.0)]), vec![1.0]);
+    }
+
+    #[test]
+    fn non_finite_input_is_rejected() {
+        assert!(fit_skew(&[(0.0, 1.0), (1.0, f64::NAN)]).is_none());
+        assert!(fit_skew(&[(f64::INFINITY, 1.0), (1.0, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn duplicate_times_keep_the_envelope() {
+        let pts = [(0.0, 3.0), (0.0, 1.0), (1.0, 1.5), (2.0, 2.0)];
+        let fit = fit_skew(&pts).unwrap();
+        // Envelope through (0,1) and (1,1.5)/(2,2): slope 0.5.
+        assert!((fit.skew - 0.5).abs() < 1e-9);
+        assert!((fit.intercept - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_magnitude_of_real_clocks() {
+        // Typical crystal skew ~ 50 ppm over a 20-minute trace at 20 ms
+        // probes: 60k points, drift of 60 ms end to end — the fit must
+        // recover it to sub-ppm accuracy.
+        let skew = 50e-6;
+        let pts: Vec<(f64, f64)> = (0..60_000)
+            .map(|i| {
+                let t = i as f64 * 0.02;
+                let queue = ((i * 7919) % 1000) as f64 * 1e-5;
+                (t, 0.040 + skew * t + queue)
+            })
+            .collect();
+        let fit = fit_skew(&pts).unwrap();
+        assert!((fit.skew - skew).abs() < 1e-7, "skew {}", fit.skew);
+    }
+}

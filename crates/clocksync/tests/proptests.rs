@@ -1,0 +1,101 @@
+//! Property-based tests for the skew estimator.
+
+use dcl_clocksync::fit_skew;
+use proptest::prelude::*;
+
+fn base_points() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    (5usize..200, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.02;
+                // Non-negative "queuing" noise over a 40 ms floor.
+                (t, 0.04 + rng.gen_range(0.0..0.5))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn fitted_line_lies_below_all_points(pts in base_points()) {
+        let fit = fit_skew(&pts).unwrap();
+        for &(t, d) in &pts {
+            prop_assert!(d - (fit.skew * t + fit.intercept) >= -1e-9);
+        }
+        prop_assert!(fit.mean_residual >= 0.0);
+    }
+
+    /// Adding a linear trend alpha*t + beta to every delay leaves the
+    /// fit's *objective* (mean residual) invariant, and the fitted line is
+    /// optimal for the shifted data too. (The argmin line itself need not
+    /// be equivariant: small point sets can have ties among hull edges.)
+    #[test]
+    fn fit_objective_is_invariant_under_linear_trends(
+        pts in base_points(),
+        alpha in -1e-3f64..1e-3,
+        beta in -100.0f64..100.0,
+    ) {
+        let base = fit_skew(&pts).unwrap();
+        let shifted: Vec<(f64, f64)> =
+            pts.iter().map(|&(t, d)| (t, d + alpha * t + beta)).collect();
+        let fit = fit_skew(&shifted).unwrap();
+        // Same optimum value: the trend shifts every feasible line equally.
+        prop_assert!((fit.mean_residual - base.mean_residual).abs() < 1e-6,
+            "objective changed: {} vs {}", fit.mean_residual, base.mean_residual);
+        // The base line, shifted by (alpha, beta), is feasible for the
+        // shifted data and achieves the same objective.
+        for &(t, d) in &shifted {
+            let line = (base.skew + alpha) * t + (base.intercept + beta);
+            prop_assert!(d - line >= -1e-8);
+        }
+    }
+
+    /// On long traces whose minimum-delay envelope recurs throughout (the
+    /// realistic measurement regime), a planted skew IS recovered exactly.
+    #[test]
+    fn planted_skew_is_recovered_on_anchored_traces(
+        alpha in -1e-3f64..1e-3,
+        beta in -100.0f64..100.0,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let pts: Vec<(f64, f64)> = (0..600)
+            .map(|i| {
+                let t = i as f64 * 0.02;
+                // Every 25th point sits exactly on the envelope.
+                let noise = if i % 25 == 0 { 0.0 } else { rng.gen_range(0.001..0.5) };
+                (t, 0.04 + alpha * t + beta + noise)
+            })
+            .collect();
+        let fit = fit_skew(&pts).unwrap();
+        prop_assert!((fit.skew - alpha).abs() < 1e-9, "skew {} vs {alpha}", fit.skew);
+        prop_assert!((fit.intercept - (0.04 + beta)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_residual_is_minimal_among_feasible_hull_lines(pts in base_points()) {
+        // The returned objective is no worse than any line through two
+        // consecutive sorted points that stays below the data.
+        let fit = fit_skew(&pts).unwrap();
+        let mut sorted = pts.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = pts.len() as f64;
+        for w in sorted.windows(2) {
+            let (t0, d0) = w[0];
+            let (t1, d1) = w[1];
+            if t1 == t0 {
+                continue;
+            }
+            let a = (d1 - d0) / (t1 - t0);
+            let b = d0 - a * t0;
+            let feasible = pts.iter().all(|&(t, d)| d - (a * t + b) >= -1e-9);
+            if feasible {
+                let obj: f64 = pts.iter().map(|&(t, d)| d - a * t - b).sum::<f64>() / n;
+                prop_assert!(fit.mean_residual <= obj + 1e-9);
+            }
+        }
+    }
+}

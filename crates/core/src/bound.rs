@@ -1,0 +1,174 @@
+//! Upper bounds on the dominant link's maximum queuing delay (§IV-B).
+//!
+//! Once a dominant congested link is identified, every loss saw its full
+//! queue, so the smallest virtual queuing delay carrying (more than `ε₁` of
+//! the) loss mass upper-bounds `Q_k`. With a finer discretisation the paper
+//! sharpens this with a heuristic: the PMF separates into connected
+//! components, the component holding most of the mass starts at (an upper
+//! bound of) `Q_k`, and the bound is the smallest delay inside it whose
+//! probability is "significantly larger than 0" (Fig. 7).
+
+use crate::discretize::Discretizer;
+use dcl_netsim::time::Dur;
+use dcl_probnum::{Cdf, Pmf};
+
+/// Basic bound from the CDF: the upper edge of `d* = min{d : F(d) > ε₁}`
+/// (with `numeric_floor` absorbing estimation dust), as an actual queuing
+/// delay.
+pub fn upper_bound_from_cdf(
+    cdf: &Cdf,
+    eps1: f64,
+    numeric_floor: f64,
+    disc: &Discretizer,
+) -> Option<Dur> {
+    let d_star = cdf.min_support_above(eps1.max(numeric_floor))?;
+    Some(disc.queuing_delay_upper(d_star))
+}
+
+/// Tuning knobs of the connected-component heuristic.
+///
+/// Both thresholds are *relative to the largest bin mass* of the PMF:
+/// estimated PMFs carry low-level EM dust whose absolute size scales with
+/// the number of bins, so absolute cutoffs either merge everything into one
+/// component (fine discretisations) or erase real components (coarse ones).
+#[derive(Debug, Clone, Copy)]
+pub struct HeuristicParams {
+    /// A bin below `rel_floor * max_mass` counts as empty when splitting
+    /// the support into connected components.
+    pub rel_floor: f64,
+    /// A bin must exceed `rel_significant * max_mass` to be "significantly
+    /// larger than 0" when picking the bound inside the main component.
+    pub rel_significant: f64,
+}
+
+impl Default for HeuristicParams {
+    fn default() -> Self {
+        HeuristicParams {
+            rel_floor: 0.05,
+            rel_significant: 0.10,
+        }
+    }
+}
+
+/// The connected-component heuristic bound (paper §IV-B, illustrated in
+/// Fig. 7): locate the component with the most mass, then return the upper
+/// edge of its first bin whose probability is significant.
+///
+/// Returns `None` only for an all-zero PMF (impossible after
+/// normalisation).
+pub fn heuristic_upper_bound(
+    pmf: &Pmf,
+    params: HeuristicParams,
+    disc: &Discretizer,
+) -> Option<Dur> {
+    let max_mass = pmf
+        .mass()
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max);
+    if max_mass <= 0.0 {
+        return None;
+    }
+    let floor = params.rel_floor * max_mass;
+    let significant = params.rel_significant * max_mass;
+    let comps = pmf.connected_components(floor);
+    let (first, last, _) = comps
+        .into_iter()
+        .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite masses"))?;
+    let start = (first..=last)
+        .find(|&l| pmf.prob(l) > significant)
+        .unwrap_or(first);
+    Some(disc.queuing_delay_upper(start))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disc(m: usize, width_ms: f64) -> Discretizer {
+        Discretizer::new(
+            Dur::from_millis(20.0),
+            Dur::from_millis(width_ms * m as f64),
+            m,
+        )
+    }
+
+    #[test]
+    fn basic_bound_reads_d_star() {
+        // M = 5, w = 40 ms; mass starts at symbol 4 -> bound 160 ms.
+        let d = disc(5, 40.0);
+        let f = Pmf::from_mass(vec![0.0, 0.0, 0.0, 0.6, 0.4]).cdf();
+        assert_eq!(
+            upper_bound_from_cdf(&f, 0.0, 0.0, &d),
+            Some(Dur::from_millis(160.0))
+        );
+    }
+
+    #[test]
+    fn basic_bound_skips_eps1_alien_mass() {
+        let d = disc(5, 40.0);
+        let f = Pmf::from_mass(vec![0.05, 0.0, 0.0, 0.6, 0.35]).cdf();
+        assert_eq!(
+            upper_bound_from_cdf(&f, 0.06, 0.0, &d),
+            Some(Dur::from_millis(160.0))
+        );
+        // Exact test sees the alien mass instead.
+        assert_eq!(
+            upper_bound_from_cdf(&f, 0.0, 0.0, &d),
+            Some(Dur::from_millis(40.0))
+        );
+    }
+
+    #[test]
+    fn heuristic_finds_the_heavy_component() {
+        // M = 10: a light component at symbols 2-3 (8 % of mass) and the
+        // heavy one at 6-9; bound = upper edge of symbol 6.
+        let d = disc(10, 25.0);
+        let pmf = Pmf::from_mass(vec![
+            0.0, 0.05, 0.03, 0.0, 0.0, 0.30, 0.40, 0.20, 0.02, 0.0,
+        ]);
+        assert_eq!(
+            heuristic_upper_bound(&pmf, HeuristicParams::default(), &d),
+            Some(Dur::from_millis(150.0))
+        );
+    }
+
+    #[test]
+    fn heuristic_ignores_em_dust_across_the_support() {
+        // Fine discretisation with 1 % dust in every low bin and the real
+        // mass concentrated at the top: the dust must not drag the bound
+        // down (relative thresholds).
+        let d = disc(40, 5.0);
+        let mut mass = vec![0.004; 40];
+        mass[37] = 0.4;
+        mass[38] = 0.3;
+        mass[39] = 0.15;
+        let pmf = Pmf::from_mass(mass);
+        let got = heuristic_upper_bound(&pmf, HeuristicParams::default(), &d).unwrap();
+        assert_eq!(got, d.queuing_delay_upper(38));
+    }
+
+    #[test]
+    fn heuristic_skips_insignificant_leading_bins() {
+        // The heavy component starts with a bin at 0.8 % of the peak: not
+        // significant; the bound moves to the next bin.
+        let d = disc(10, 25.0);
+        let pmf = Pmf::from_mass(vec![
+            0.0, 0.0, 0.0, 0.0, 0.004, 0.496, 0.5, 0.0, 0.0, 0.0,
+        ]);
+        assert_eq!(
+            heuristic_upper_bound(&pmf, HeuristicParams::default(), &d),
+            Some(Dur::from_millis(150.0))
+        );
+    }
+
+    #[test]
+    fn heuristic_handles_point_mass() {
+        let d = disc(40, 5.0);
+        let pmf = Pmf::point(40, 36);
+        assert_eq!(
+            heuristic_upper_bound(&pmf, HeuristicParams::default(), &d),
+            Some(d.queuing_delay_upper(36))
+        );
+    }
+}

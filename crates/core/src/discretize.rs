@@ -1,0 +1,232 @@
+//! Delay discretisation (§IV-A / §V-A of the paper).
+//!
+//! End-end queuing delays are mapped to `M` equal-width bins spanning
+//! `[0, d_max − d_min]`, where `d_min` approximates the path's propagation
+//! delay (known, or the minimum observed one-way delay) and `d_max` is the
+//! largest observed one-way delay. Symbol `l ∈ 1..=M` covers queuing delays
+//! in `((l−1)·w, l·w]` with `w` the bin width.
+
+use dcl_netsim::time::Dur;
+use dcl_netsim::trace::ProbeTrace;
+use dcl_probnum::obs::Obs;
+use serde::{Deserialize, Serialize};
+
+/// Maps one-way delays to delay symbols and back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Discretizer {
+    floor: Dur,
+    width: Dur,
+    m: usize,
+}
+
+impl Discretizer {
+    /// Build a discretiser directly from a delay floor and range.
+    ///
+    /// Panics if `m == 0` or `span` is zero (a degenerate trace with no
+    /// delay variation cannot be discretised — callers should catch that
+    /// earlier).
+    pub fn new(floor: Dur, span: Dur, m: usize) -> Self {
+        assert!(m > 0, "need at least one symbol");
+        assert!(!span.is_zero(), "zero delay span");
+        Discretizer {
+            floor,
+            width: Dur::from_nanos((span.as_nanos() / m as u64).max(1)),
+            m,
+        }
+    }
+
+    /// Build from a trace: the floor is the known propagation delay if
+    /// given, otherwise the minimum observed one-way delay (§V-A); the span
+    /// reaches to the maximum observed delay.
+    ///
+    /// Returns `None` if the trace has no delivered probes or no delay
+    /// variation.
+    pub fn from_trace(trace: &ProbeTrace, m: usize, known_floor: Option<Dur>) -> Option<Self> {
+        let observed_min = trace.min_owd()?;
+        let floor = known_floor.unwrap_or(observed_min).min(observed_min);
+        let max = trace.max_owd()?;
+        if max <= floor {
+            return None;
+        }
+        Some(Discretizer::new(floor, max - floor, m))
+    }
+
+    /// Number of symbols `M`.
+    pub fn num_symbols(&self) -> usize {
+        self.m
+    }
+
+    /// Bin width `w`.
+    pub fn bin_width(&self) -> Dur {
+        self.width
+    }
+
+    /// The delay floor (propagation estimate).
+    pub fn floor(&self) -> Dur {
+        self.floor
+    }
+
+    /// Symbol for a queuing delay: `l = ceil(q / w)`, clamped to `1..=M`.
+    pub fn symbol_for_queuing(&self, q: Dur) -> u16 {
+        let w = self.width.as_nanos();
+        let q = q.as_nanos();
+        let l = q.div_ceil(w).max(1);
+        l.min(self.m as u64) as u16
+    }
+
+    /// Symbol for a one-way delay (queuing = delay − floor, clamped at 0).
+    pub fn symbol_for_owd(&self, owd: Dur) -> u16 {
+        self.symbol_for_queuing(owd.saturating_sub_floor(self.floor))
+    }
+
+    /// Upper edge of symbol `l` as a queuing delay (`l · w`).
+    pub fn queuing_delay_upper(&self, l: usize) -> Dur {
+        self.width * (l as u64)
+    }
+
+    /// Centre of symbol `l` as a queuing delay.
+    pub fn queuing_delay_mid(&self, l: usize) -> Dur {
+        self.width * (2 * l as u64 - 1) / 2
+    }
+
+    /// Convert a trace to the observation sequence the models consume:
+    /// delivered probes become their delay symbol, lost probes become
+    /// [`Obs::Loss`].
+    pub fn observations(&self, trace: &ProbeTrace) -> Vec<Obs> {
+        trace
+            .records
+            .iter()
+            .map(|r| match r.owd() {
+                Some(d) => Obs::Sym(self.symbol_for_owd(d)),
+                None => Obs::Loss,
+            })
+            .collect()
+    }
+
+    /// Discretise a set of queuing delays into a symbol histogram PMF
+    /// (used for ground-truth and observed-delay distributions).
+    pub fn queuing_pmf(&self, delays: &[Dur]) -> Option<dcl_probnum::Pmf> {
+        if delays.is_empty() {
+            return None;
+        }
+        Some(dcl_probnum::Pmf::from_counts(
+            self.m,
+            delays.iter().map(|&d| self.symbol_for_queuing(d) as usize),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcl_netsim::packet::ProbeStamp;
+    use dcl_netsim::sim::ProbeRecord;
+    use dcl_netsim::time::Time;
+
+    fn disc() -> Discretizer {
+        // Floor 20 ms, span 100 ms, 5 symbols: w = 20 ms.
+        Discretizer::new(Dur::from_millis(20.0), Dur::from_millis(100.0), 5)
+    }
+
+    #[test]
+    fn symbol_boundaries_follow_the_paper() {
+        let d = disc();
+        assert_eq!(d.bin_width(), Dur::from_millis(20.0));
+        // q = 0 -> symbol 1 (the lowest bin).
+        assert_eq!(d.symbol_for_queuing(Dur::ZERO), 1);
+        // q exactly at a bin edge belongs to the lower bin: (0, w] -> 1.
+        assert_eq!(d.symbol_for_queuing(Dur::from_millis(20.0)), 1);
+        assert_eq!(d.symbol_for_queuing(Dur::from_millis(20.000001)), 2);
+        assert_eq!(d.symbol_for_queuing(Dur::from_millis(100.0)), 5);
+        // Clamped above.
+        assert_eq!(d.symbol_for_queuing(Dur::from_millis(500.0)), 5);
+    }
+
+    #[test]
+    fn owd_subtracts_floor() {
+        let d = disc();
+        assert_eq!(d.symbol_for_owd(Dur::from_millis(20.0)), 1);
+        assert_eq!(d.symbol_for_owd(Dur::from_millis(90.0)), 4);
+        // Below the floor clamps to symbol 1.
+        assert_eq!(d.symbol_for_owd(Dur::from_millis(5.0)), 1);
+    }
+
+    #[test]
+    fn delay_reconstruction() {
+        let d = disc();
+        assert_eq!(d.queuing_delay_upper(5), Dur::from_millis(100.0));
+        assert_eq!(d.queuing_delay_mid(1), Dur::from_millis(10.0));
+    }
+
+    fn rec(seq: u64, owd_ms: Option<f64>) -> ProbeRecord {
+        let sent = Time::from_secs(seq as f64 * 0.02);
+        let mut stamp = ProbeStamp::new(seq, None, sent);
+        if owd_ms.is_none() {
+            stamp.loss_hop = Some(0);
+        }
+        ProbeRecord {
+            stamp,
+            arrival: owd_ms.map(|ms| sent + Dur::from_millis(ms)),
+        }
+    }
+
+    #[test]
+    fn from_trace_uses_min_and_max() {
+        let t = ProbeTrace {
+            records: vec![rec(0, Some(25.0)), rec(1, None), rec(2, Some(125.0))],
+            base_delay: Dur::from_millis(20.0),
+            interval: Dur::from_millis(20.0),
+        };
+        // Unknown floor: min observed = 25 ms, span 100 ms.
+        let d = Discretizer::from_trace(&t, 5, None).unwrap();
+        assert_eq!(d.floor(), Dur::from_millis(25.0));
+        assert_eq!(d.bin_width(), Dur::from_millis(20.0));
+        // Known floor: 20 ms, span 105 ms.
+        let d = Discretizer::from_trace(&t, 5, Some(Dur::from_millis(20.0))).unwrap();
+        assert_eq!(d.floor(), Dur::from_millis(20.0));
+        assert_eq!(d.bin_width(), Dur::from_millis(21.0));
+    }
+
+    #[test]
+    fn from_trace_rejects_degenerate() {
+        let empty = ProbeTrace {
+            records: vec![rec(0, None)],
+            base_delay: Dur::ZERO,
+            interval: Dur::from_millis(20.0),
+        };
+        assert!(Discretizer::from_trace(&empty, 5, None).is_none());
+        let flat = ProbeTrace {
+            records: vec![rec(0, Some(30.0)), rec(1, Some(30.0))],
+            base_delay: Dur::ZERO,
+            interval: Dur::from_millis(20.0),
+        };
+        assert!(Discretizer::from_trace(&flat, 5, None).is_none());
+    }
+
+    #[test]
+    fn observations_map_losses() {
+        let t = ProbeTrace {
+            records: vec![rec(0, Some(25.0)), rec(1, None), rec(2, Some(125.0))],
+            base_delay: Dur::from_millis(20.0),
+            interval: Dur::from_millis(20.0),
+        };
+        let d = Discretizer::from_trace(&t, 5, None).unwrap();
+        let obs = d.observations(&t);
+        assert_eq!(obs, vec![Obs::Sym(1), Obs::Loss, Obs::Sym(5)]);
+    }
+
+    #[test]
+    fn queuing_pmf_counts() {
+        let d = disc();
+        let pmf = d
+            .queuing_pmf(&[
+                Dur::from_millis(10.0),
+                Dur::from_millis(10.0),
+                Dur::from_millis(90.0),
+            ])
+            .unwrap();
+        assert!((pmf.prob(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((pmf.prob(5) - 1.0 / 3.0).abs() < 1e-12);
+        assert!(d.queuing_pmf(&[]).is_none());
+    }
+}

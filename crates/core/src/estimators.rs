@@ -1,0 +1,336 @@
+//! Virtual-queuing-delay distribution estimators.
+//!
+//! Everything downstream (hypothesis tests, bounds) consumes a PMF over
+//! delay symbols; this module provides the four ways of producing one that
+//! the paper compares:
+//!
+//! * [`GroundTruth`] — the simulator's virtual probes ("ns virtual");
+//! * [`LossPairEstimator`] — the empirical loss-pair baseline [21];
+//! * [`HmmEstimator`] — the model-based approach with an HMM;
+//! * [`MmhdEstimator`] — the model-based approach with an MMHD (the
+//!   paper's recommended configuration).
+
+use crate::discretize::Discretizer;
+use dcl_netsim::trace::ProbeTrace;
+use dcl_probnum::Pmf;
+
+/// A strategy for estimating the distribution of the end-end virtual
+/// queuing delay of lost probes.
+pub trait VqdEstimator {
+    /// Short name for reports ("mmhd", "loss-pair", ...).
+    fn name(&self) -> &'static str;
+
+    /// Estimate the PMF over the discretiser's symbols. `None` when the
+    /// trace carries no usable information (e.g. no losses).
+    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Option<Pmf>;
+}
+
+/// Ground truth from the simulator's virtual probes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroundTruth;
+
+impl VqdEstimator for GroundTruth {
+    fn name(&self) -> &'static str {
+        "ns-virtual"
+    }
+
+    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Option<Pmf> {
+        disc.queuing_pmf(&trace.ground_truth_virtual_delays())
+    }
+}
+
+/// The loss-pair baseline: the surviving probe of each loss pair stands in
+/// for its lost sibling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LossPairEstimator;
+
+impl VqdEstimator for LossPairEstimator {
+    fn name(&self) -> &'static str {
+        "loss-pair"
+    }
+
+    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Option<Pmf> {
+        let analysis = dcl_losspair::extract(trace);
+        if analysis.pairs.is_empty() {
+            return None;
+        }
+        disc.queuing_pmf(&analysis.virtual_queuing_samples(disc.floor()))
+    }
+}
+
+/// Model-based estimation with a hidden Markov model.
+#[derive(Debug, Clone, Copy)]
+pub struct HmmEstimator {
+    /// Number of hidden states `N`.
+    pub num_states: usize,
+    /// EM convergence tolerance.
+    pub tol: f64,
+    /// EM iteration cap.
+    pub max_iters: usize,
+    /// Initialisation seed.
+    pub seed: u64,
+    /// Random restarts.
+    pub restarts: usize,
+}
+
+impl Default for HmmEstimator {
+    fn default() -> Self {
+        HmmEstimator {
+            num_states: 2,
+            tol: 1e-4,
+            max_iters: 200,
+            seed: 1,
+            restarts: 1,
+        }
+    }
+}
+
+impl VqdEstimator for HmmEstimator {
+    fn name(&self) -> &'static str {
+        "hmm"
+    }
+
+    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Option<Pmf> {
+        let obs = disc.observations(trace);
+        if obs.is_empty() || !obs.iter().any(|o| o.is_loss()) {
+            return None;
+        }
+        let fit = dcl_hmm::fit(
+            &obs,
+            &dcl_hmm::EmOptions {
+                num_states: self.num_states,
+                num_symbols: disc.num_symbols(),
+                tol: self.tol,
+                max_iters: self.max_iters,
+                seed: self.seed,
+                restarts: self.restarts,
+                restrict_loss_to_observed: true,
+            },
+        );
+        fit.model.loss_delay_pmf(&obs)
+    }
+}
+
+/// Model-based estimation with a Markov model with a hidden dimension —
+/// the configuration the paper recommends.
+#[derive(Debug, Clone, Copy)]
+pub struct MmhdEstimator {
+    /// Number of hidden components `N`.
+    pub num_hidden: usize,
+    /// EM convergence tolerance.
+    pub tol: f64,
+    /// EM iteration cap.
+    pub max_iters: usize,
+    /// Initialisation seed.
+    pub seed: u64,
+    /// Random restarts.
+    pub restarts: usize,
+    /// Empirical-bigram initialisation (DESIGN.md §7.2); `false` is the
+    /// paper's stated random initialisation.
+    pub empirical_init: bool,
+    /// Tie loss probabilities per symbol (the paper's exact formulation);
+    /// `false` (default) unties them across the hidden dimension.
+    pub tied_loss: bool,
+}
+
+impl Default for MmhdEstimator {
+    fn default() -> Self {
+        MmhdEstimator {
+            num_hidden: 2,
+            tol: 1e-4,
+            max_iters: 200,
+            seed: 1,
+            restarts: 6,
+            empirical_init: true,
+            tied_loss: false,
+        }
+    }
+}
+
+impl VqdEstimator for MmhdEstimator {
+    fn name(&self) -> &'static str {
+        "mmhd"
+    }
+
+    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Option<Pmf> {
+        let obs = disc.observations(trace);
+        if obs.is_empty() || !obs.iter().any(|o| o.is_loss()) {
+            return None;
+        }
+        let fit = dcl_mmhd::fit(
+            &obs,
+            &dcl_mmhd::EmOptions {
+                num_hidden: self.num_hidden,
+                num_symbols: disc.num_symbols(),
+                tol: self.tol,
+                max_iters: self.max_iters,
+                seed: self.seed,
+                restarts: self.restarts,
+                restrict_loss_to_observed: true,
+                empirical_init: self.empirical_init,
+                tied_loss: self.tied_loss,
+            },
+        );
+        fit.model.loss_delay_pmf(&obs)
+    }
+}
+
+/// Ensemble of MMHD fits across several hidden-state counts, averaging the
+/// resulting virtual-queuing-delay PMFs with equal weight.
+///
+/// The paper fits N = 1..4 and observes that "the inference results under
+/// different values of N are very similar" (§VI-B); when they are, the
+/// average changes nothing. When one N lands in a degenerate EM basin (the
+/// concentration failure of DESIGN.md §7), the others outvote it — making
+/// the ensemble the most robust default for low-loss wide-area traces.
+#[derive(Debug, Clone)]
+pub struct MmhdEnsemble {
+    /// Hidden-state counts to fit (e.g. `[1, 2, 4]`).
+    pub hidden: Vec<usize>,
+    /// Base configuration applied to each member.
+    pub base: MmhdEstimator,
+}
+
+impl Default for MmhdEnsemble {
+    fn default() -> Self {
+        MmhdEnsemble {
+            hidden: vec![1, 2, 4],
+            base: MmhdEstimator::default(),
+        }
+    }
+}
+
+impl VqdEstimator for MmhdEnsemble {
+    fn name(&self) -> &'static str {
+        "mmhd-ensemble"
+    }
+
+    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Option<Pmf> {
+        let mut acc = vec![0.0; disc.num_symbols()];
+        let mut members = 0usize;
+        for &n in &self.hidden {
+            let est = MmhdEstimator {
+                num_hidden: n,
+                ..self.base
+            };
+            if let Some(pmf) = est.estimate(trace, disc) {
+                for (a, &p) in acc.iter_mut().zip(pmf.mass()) {
+                    *a += p;
+                }
+                members += 1;
+            }
+        }
+        if members == 0 {
+            return None;
+        }
+        Some(Pmf::from_mass(acc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcl_netsim::packet::ProbeStamp;
+    use dcl_netsim::sim::ProbeRecord;
+    use dcl_netsim::time::{Dur, Time};
+
+    /// A synthetic trace in which losses cluster with high delays
+    /// (a dominant congested link in miniature).
+    fn synthetic_trace(n: usize, pairs: bool) -> ProbeTrace {
+        let mut records = Vec::with_capacity(n);
+        for i in 0..n {
+            let sent = Time::from_secs(i as f64 * 0.02);
+            // Deterministic cycle: stretches of low delay, bursts of
+            // congestion in which the middle probe is lost.
+            let phase = i % 20;
+            let congested = phase >= 15;
+            let lost = phase == 17;
+            let pair = pairs.then_some(((i / 2) as u64, (i % 2) as u8));
+            let mut stamp = ProbeStamp::new(i as u64, pair, sent);
+            let arrival = if lost {
+                stamp.loss_hop = Some(1);
+                stamp.link_waits = vec![Dur::from_millis(150.0)];
+                None
+            } else {
+                // Quiet phases ramp across the low/middle symbols (as real
+                // queues do); congestion sits at the top of the range.
+                let owd = if congested {
+                    160.0 + (phase % 4) as f64 * 4.0
+                } else {
+                    25.0 + ((i * 7) % 90) as f64
+                };
+                Some(sent + Dur::from_millis(owd))
+            };
+            records.push(ProbeRecord { stamp, arrival });
+        }
+        ProbeTrace {
+            records,
+            base_delay: Dur::from_millis(20.0),
+            interval: Dur::from_millis(20.0),
+        }
+    }
+
+    #[test]
+    fn ground_truth_uses_recorded_virtual_delays() {
+        let t = synthetic_trace(200, false);
+        let disc = Discretizer::from_trace(&t, 5, None).unwrap();
+        let pmf = GroundTruth.estimate(&t, &disc).unwrap();
+        // All planted virtual delays are 150 ms -> one symbol carries all.
+        assert_eq!(pmf.mode(), disc.symbol_for_queuing(Dur::from_millis(150.0)) as usize);
+        assert!(pmf.prob(pmf.mode()) > 0.999);
+    }
+
+    #[test]
+    fn model_estimators_put_loss_mass_on_high_symbols() {
+        let t = synthetic_trace(2000, false);
+        let disc = Discretizer::from_trace(&t, 5, None).unwrap();
+        for est in [
+            Box::new(MmhdEstimator::default()) as Box<dyn VqdEstimator>,
+            Box::new(HmmEstimator::default()),
+        ] {
+            let pmf = est.estimate(&t, &disc).unwrap();
+            let f = pmf.cdf();
+            assert!(
+                f.value(3) < 0.2,
+                "{}: loss mass should be high: {pmf:?}",
+                est.name()
+            );
+        }
+    }
+
+    #[test]
+    fn loss_pair_estimator_needs_pairs() {
+        let single = synthetic_trace(200, false);
+        let disc = Discretizer::from_trace(&single, 5, None).unwrap();
+        assert!(LossPairEstimator.estimate(&single, &disc).is_none());
+
+        let paired = synthetic_trace(400, true);
+        let disc = Discretizer::from_trace(&paired, 5, None).unwrap();
+        // In the synthetic pattern the lost probe (phase 17) sits next to a
+        // delivered congested probe, so loss pairs exist.
+        let pmf = LossPairEstimator.estimate(&paired, &disc);
+        assert!(pmf.is_some());
+    }
+
+    #[test]
+    fn ensemble_averages_member_estimates() {
+        let t = synthetic_trace(1500, false);
+        let disc = Discretizer::from_trace(&t, 5, None).unwrap();
+        let ens = MmhdEnsemble::default().estimate(&t, &disc).unwrap();
+        let sum: f64 = ens.mass().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // The ensemble must agree with its members on where the bulk is.
+        let single = MmhdEstimator::default().estimate(&t, &disc).unwrap();
+        assert_eq!(ens.mode(), single.mode());
+    }
+
+    #[test]
+    fn estimators_return_none_without_losses() {
+        let mut t = synthetic_trace(100, false);
+        t.records.retain(|r| r.delivered());
+        let disc = Discretizer::from_trace(&t, 5, None).unwrap();
+        assert!(GroundTruth.estimate(&t, &disc).is_none());
+        assert!(MmhdEstimator::default().estimate(&t, &disc).is_none());
+        assert!(HmmEstimator::default().estimate(&t, &disc).is_none());
+    }
+}

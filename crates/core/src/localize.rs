@@ -1,0 +1,232 @@
+//! Extension: *pinpointing* the dominant congested link (§VII of the paper
+//! lists this as future work).
+//!
+//! Identification (§IV–V) answers "does the path have a dominant congested
+//! link?" from end-end probes alone. To find *which* link it is, this
+//! module adds the natural next step: probe nested path *prefixes* (to
+//! intermediate nodes — operationally, probes addressed to cooperating
+//! routers or measurement points along the path) and binary-search for the
+//! shortest prefix on which a dominant congested link is already present.
+//! Because a dominant congested link is unique (Definitions 1–2), the
+//! predicate "prefix of length `k` contains the dominant link" is monotone
+//! in `k`, which makes binary search sound: `O(log K)` probing sessions
+//! instead of `K`.
+//!
+//! The [`PrefixProber`] trait abstracts how a prefix is measured;
+//! [`SimulatedPrefixProber`] implements it on the `dcl-netsim` scenarios
+//! (a fresh simulation per prefix, mirroring a sequential measurement
+//! campaign).
+
+use crate::identify::{identify, Identification, IdentifyConfig, IdentifyError, Verdict};
+use dcl_netsim::scenarios::{HopSpec, PathScenario, PathScenarioConfig};
+use dcl_netsim::time::Dur;
+use dcl_netsim::trace::ProbeTrace;
+
+/// A way of probing path prefixes.
+pub trait PrefixProber {
+    /// Total number of hop links on the path.
+    fn num_hops(&self) -> usize;
+
+    /// Measure the prefix consisting of the first `hops` hop links
+    /// (`1..=num_hops`) and return its probe trace.
+    fn probe_prefix(&mut self, hops: usize) -> ProbeTrace;
+}
+
+/// One probed prefix and what identification said about it.
+#[derive(Debug)]
+pub struct PrefixObservation {
+    /// Prefix length (hop links).
+    pub hops: usize,
+    /// Identification outcome (an error usually means "no losses on this
+    /// prefix", which localisation treats as "dominant link not included").
+    pub report: Result<Identification, IdentifyError>,
+}
+
+/// Result of a localisation run.
+#[derive(Debug)]
+pub struct Localization {
+    /// The hop index (0-based, within the hop links) of the dominant
+    /// congested link, if the full path has one.
+    pub hop: Option<usize>,
+    /// Every prefix that was probed, in probing order.
+    pub observations: Vec<PrefixObservation>,
+}
+
+fn prefix_has_dcl(obs: &PrefixObservation) -> bool {
+    matches!(&obs.report, Ok(r) if r.verdict != Verdict::NoDominant)
+}
+
+/// Binary-search the dominant congested link.
+///
+/// Probes the full path first; if it has no dominant congested link the
+/// result's `hop` is `None`. Otherwise prefixes are probed until the
+/// shortest prefix containing the dominant link is isolated; its last hop
+/// is the answer.
+pub fn localize(prober: &mut impl PrefixProber, cfg: &IdentifyConfig) -> Localization {
+    let k = prober.num_hops();
+    assert!(k > 0, "localisation needs at least one hop");
+    let mut observations = Vec::new();
+
+    let full = PrefixObservation {
+        hops: k,
+        report: identify(&prober.probe_prefix(k), cfg),
+    };
+    let full_has = prefix_has_dcl(&full);
+    observations.push(full);
+    if !full_has {
+        return Localization {
+            hop: None,
+            observations,
+        };
+    }
+
+    // Invariant: prefix `hi` contains the dominant link, prefix `lo` does
+    // not (lo = 0 is the empty prefix).
+    let mut lo = 0usize;
+    let mut hi = k;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let obs = PrefixObservation {
+            hops: mid,
+            report: identify(&prober.probe_prefix(mid), cfg),
+        };
+        let has = prefix_has_dcl(&obs);
+        observations.push(obs);
+        if has {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Localization {
+        hop: Some(hi - 1),
+        observations,
+    }
+}
+
+/// A [`PrefixProber`] backed by fresh `dcl-netsim` simulations: each prefix
+/// measurement rebuilds the scenario truncated after the prefix's last hop
+/// (the cross traffic of the removed hops disappears with them, exactly as
+/// if the probes were addressed to the intermediate node).
+pub struct SimulatedPrefixProber {
+    hops: Vec<HopSpec>,
+    access_bps: u64,
+    seed: u64,
+    warmup: Dur,
+    measure: Dur,
+}
+
+impl SimulatedPrefixProber {
+    /// Create a prober over `hops` with the scenario's access bandwidth and
+    /// per-run warm-up/measurement durations.
+    pub fn new(
+        hops: Vec<HopSpec>,
+        access_bps: u64,
+        seed: u64,
+        warmup: Dur,
+        measure: Dur,
+    ) -> Self {
+        SimulatedPrefixProber {
+            hops,
+            access_bps,
+            seed,
+            warmup,
+            measure,
+        }
+    }
+}
+
+impl PrefixProber for SimulatedPrefixProber {
+    fn num_hops(&self) -> usize {
+        self.hops.len()
+    }
+
+    fn probe_prefix(&mut self, hops: usize) -> ProbeTrace {
+        assert!((1..=self.hops.len()).contains(&hops));
+        let mut cfg = PathScenarioConfig::new(self.hops[..hops].to_vec(), self.seed);
+        cfg.access_bps = self.access_bps;
+        let mut sc = PathScenario::build(&cfg);
+        sc.run(self.warmup, self.measure)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcl_netsim::scenarios::{TrafficMix, UdpCross};
+
+    fn congested(bps: u64) -> TrafficMix {
+        TrafficMix {
+            ftp_flows: 4,
+            http_sessions: 2,
+            udp: Some(UdpCross {
+                peak_bps: (bps as f64 * 0.3) as u64,
+                mean_on: Dur::from_secs(1.0),
+                mean_off: Dur::from_secs(1.5),
+                pkt_size: 1000,
+            }),
+        }
+    }
+
+    fn clean() -> HopSpec {
+        HopSpec::droptail(100_000_000, 800_000, TrafficMix::none())
+    }
+
+    fn prober_with_dcl_at(pos: usize, total: usize) -> SimulatedPrefixProber {
+        let hops: Vec<HopSpec> = (0..total)
+            .map(|i| {
+                if i == pos {
+                    HopSpec::droptail(10_000_000, 200_000, congested(10_000_000))
+                } else {
+                    clean()
+                }
+            })
+            .collect();
+        SimulatedPrefixProber::new(
+            hops,
+            100_000_000,
+            4242,
+            Dur::from_secs(10.0),
+            Dur::from_secs(120.0),
+        )
+    }
+
+    #[test]
+    fn localizes_a_mid_path_dominant_link() {
+        let mut prober = prober_with_dcl_at(2, 4);
+        let result = localize(&mut prober, &IdentifyConfig {
+            estimate_bound: false,
+            ..IdentifyConfig::default()
+        });
+        assert_eq!(result.hop, Some(2), "{:?}", result.observations.len());
+        // Binary search: at most 1 (full) + ceil(log2(4)) = 3 sessions.
+        assert!(result.observations.len() <= 3);
+    }
+
+    #[test]
+    fn localizes_first_and_last_hops() {
+        for (pos, total) in [(0usize, 3usize), (2, 3)] {
+            let mut prober = prober_with_dcl_at(pos, total);
+            let result = localize(&mut prober, &IdentifyConfig {
+                estimate_bound: false,
+                ..IdentifyConfig::default()
+            });
+            assert_eq!(result.hop, Some(pos), "pos {pos} of {total}");
+        }
+    }
+
+    #[test]
+    fn reports_none_when_no_dominant_link_exists() {
+        let hops = vec![clean(), clean(), clean()];
+        let mut prober = SimulatedPrefixProber::new(
+            hops,
+            100_000_000,
+            7,
+            Dur::from_secs(5.0),
+            Dur::from_secs(30.0),
+        );
+        let result = localize(&mut prober, &IdentifyConfig::default());
+        assert_eq!(result.hop, None);
+        assert_eq!(result.observations.len(), 1, "only the full path probed");
+    }
+}

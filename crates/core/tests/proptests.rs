@@ -1,0 +1,108 @@
+//! Property-based tests for the identification core: discretisation
+//! round-trips and hypothesis-test laws.
+
+use dcl_core::discretize::Discretizer;
+use dcl_core::hyptest::{sdcl_test, wdcl_test, WdclParams};
+use dcl_netsim::time::Dur;
+use dcl_probnum::Pmf;
+use proptest::prelude::*;
+
+fn pmf() -> impl Strategy<Value = Pmf> {
+    prop::collection::vec(0.0f64..10.0, 2..30)
+        .prop_filter("some mass", |v| v.iter().sum::<f64>() > 1e-9)
+        .prop_map(Pmf::from_mass)
+}
+
+proptest! {
+    #[test]
+    fn discretizer_symbols_are_in_range_and_monotone(
+        floor_ms in 0.0f64..100.0,
+        span_ms in 1.0f64..5_000.0,
+        m in 1usize..64,
+        q1_ms in 0.0f64..10_000.0,
+        q2_ms in 0.0f64..10_000.0,
+    ) {
+        let d = Discretizer::new(
+            Dur::from_millis(floor_ms),
+            Dur::from_millis(span_ms),
+            m,
+        );
+        let s1 = d.symbol_for_queuing(Dur::from_millis(q1_ms));
+        let s2 = d.symbol_for_queuing(Dur::from_millis(q2_ms));
+        prop_assert!((1..=m as u16).contains(&s1));
+        prop_assert!((1..=m as u16).contains(&s2));
+        if q1_ms <= q2_ms {
+            prop_assert!(s1 <= s2, "discretisation must be monotone");
+        }
+    }
+
+    #[test]
+    fn discretizer_upper_edge_bounds_the_bin(
+        span_ms in 10.0f64..5_000.0,
+        m in 1usize..64,
+        q_ms in 0.0f64..5_000.0,
+    ) {
+        let d = Discretizer::new(Dur::ZERO, Dur::from_millis(span_ms), m);
+        let q = Dur::from_millis(q_ms.min(span_ms));
+        let s = d.symbol_for_queuing(q) as usize;
+        // The bin's upper edge is an upper bound of any value mapped into
+        // it (up to the integer-nanosecond width rounding, one width per
+        // bin in the worst case).
+        let slack = Dur::from_nanos(d.bin_width().as_nanos() / 2 + m as u64);
+        prop_assert!(
+            d.queuing_delay_upper(s) + d.bin_width() + slack >= q,
+            "sym {s} upper {} < q {q}", d.queuing_delay_upper(s)
+        );
+    }
+
+    #[test]
+    fn sdcl_equals_wdcl_at_zero_eps(p in pmf(), floor in 0.0f64..0.05) {
+        let f = p.cdf();
+        let s = sdcl_test(&f, floor);
+        let w = wdcl_test(&f, WdclParams { eps1: 0.0, eps2: 0.0 }, floor);
+        prop_assert_eq!(s, w);
+    }
+
+    #[test]
+    fn wdcl_acceptance_is_monotone_in_eps2(p in pmf(), eps1 in 0.0f64..0.3) {
+        let f = p.cdf();
+        let mut prev_accept = false;
+        for eps2 in [0.0, 0.05, 0.1, 0.2, 0.4] {
+            if eps1 + eps2 >= 1.0 {
+                break;
+            }
+            let out = wdcl_test(&f, WdclParams { eps1, eps2 }, 0.0);
+            // Larger eps2 only lowers the threshold with the same d*, so
+            // acceptance can only turn on, never off.
+            if prev_accept {
+                prop_assert!(out.accepted, "eps2={eps2} flipped to reject");
+            }
+            prev_accept = out.accepted;
+        }
+    }
+
+    #[test]
+    fn point_masses_always_accept_sdcl(m in 1usize..40, k in 1usize..40) {
+        // All loss mass on one symbol: trivially within [d*, 2d*].
+        let k = k.min(m);
+        let f = Pmf::point(m, k).cdf();
+        prop_assert!(sdcl_test(&f, 0.0).accepted);
+    }
+
+    #[test]
+    fn mass_beyond_twice_the_support_min_rejects_sdcl(
+        gap in 2usize..10,
+        low in 1usize..5,
+        split in 0.05f64..0.95,
+    ) {
+        // Two point masses at `low` and `low * gap` with gap > 2.
+        let hi = low * gap + 1; // strictly beyond 2*low
+        let m = hi;
+        let mut mass = vec![0.0; m];
+        mass[low - 1] = split;
+        mass[hi - 1] = 1.0 - split;
+        let f = Pmf::from_mass(mass).cdf();
+        let out = sdcl_test(&f, 0.0);
+        prop_assert!(!out.accepted, "{out:?}");
+    }
+}

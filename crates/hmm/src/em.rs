@@ -1,0 +1,369 @@
+//! Baum–Welch EM extended with missing (loss) observations.
+//!
+//! The E-step computes, under the current model, the smoothed state
+//! posteriors and — for each loss — the joint posterior over (state, delay
+//! symbol). The M-step re-estimates `pi`, `A`, `B` and the per-symbol loss
+//! probabilities `c_m` from the expected counts. Iteration stops when the
+//! maximum absolute parameter change falls below the tolerance (the paper
+//! uses `1e-4`/`1e-5`) or after `max_iters`.
+
+// Index-based loops are deliberate in the numeric kernels below: the
+// indices couple several arrays at once and mirror the papers' notation.
+#![allow(clippy::needless_range_loop)]
+
+use crate::model::Hmm;
+use dcl_probnum::obs::{validate_sequence, Obs};
+use dcl_probnum::{Matrix};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// EM configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EmOptions {
+    /// Number of hidden states `N`.
+    pub num_states: usize,
+    /// Number of delay symbols `M`.
+    pub num_symbols: usize,
+    /// Convergence threshold on the maximum parameter change.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Seed for random initialisation.
+    pub seed: u64,
+    /// Number of random restarts; the best-likelihood fit wins.
+    pub restarts: usize,
+    /// Zero the loss probability `c_m` of symbols never observed delivered
+    /// in the data before EM starts (EM preserves exact zeros in `c`).
+    ///
+    /// Without this, loss mass can drift into "phantom" symbols whose `c_m`
+    /// is unconstrained by any delivered observation — a degenerate optimum
+    /// on bimodal traces. Under the paper's droptail model a lost probe's
+    /// delay always coincides with delays of (nearly-dropped) delivered
+    /// probes, so the restriction is faithful. Defaults to `true`.
+    pub restrict_loss_to_observed: bool,
+}
+
+impl Default for EmOptions {
+    fn default() -> Self {
+        EmOptions {
+            num_states: 2,
+            num_symbols: 5,
+            tol: 1e-4,
+            max_iters: 200,
+            seed: 1,
+            restarts: 1,
+            restrict_loss_to_observed: true,
+        }
+    }
+}
+
+/// Outcome of a fit.
+#[derive(Debug, Clone)]
+pub struct FitResult {
+    /// The fitted model.
+    pub model: Hmm,
+    /// Log-likelihood of the data under `model`.
+    pub log_likelihood: f64,
+    /// EM iterations used (of the winning restart).
+    pub iterations: usize,
+    /// Did the winning restart converge before `max_iters`?
+    pub converged: bool,
+}
+
+/// One EM step: returns the re-estimated model and the log-likelihood of
+/// `obs` under the *input* model.
+pub fn em_step(model: &Hmm, obs: &[Obs]) -> (Hmm, f64) {
+    let n = model.num_states();
+    let m = model.num_symbols();
+    let fb = model.forward_backward(obs);
+    let emis = model.emission_table(obs);
+    let t_len = obs.len();
+
+    // Accumulators for the expected counts.
+    let mut pi_new = vec![0.0; n];
+    let mut trans_num = Matrix::zeros(n, n); // expected transitions i -> j
+    let mut gamma_sum = vec![0.0; n]; // expected visits per state (t < T-1 for A)
+    let mut b_num = Matrix::zeros(n, m); // expected (state, symbol) counts
+    let mut loss_num = vec![0.0; m]; // expected losses per symbol
+    let mut sym_total = vec![0.0; m]; // expected occurrences per symbol
+
+    // Cache the per-state loss-symbol posterior (model-constant).
+    let loss_post: Vec<Vec<f64>> = (0..n).map(|j| model.loss_symbol_posterior(j)).collect();
+
+    for t in 0..t_len {
+        let gamma = fb.gamma(t);
+        if t == 0 {
+            pi_new.copy_from_slice(&gamma);
+        }
+        // Symbol attribution.
+        match obs[t] {
+            Obs::Sym(s) => {
+                let k = s as usize - 1;
+                for j in 0..n {
+                    b_num.set(j, k, b_num.get(j, k) + gamma[j]);
+                }
+                sym_total[k] += 1.0;
+            }
+            Obs::Loss => {
+                for j in 0..n {
+                    let gj = gamma[j];
+                    if gj == 0.0 {
+                        continue;
+                    }
+                    for k in 0..m {
+                        let w = gj * loss_post[j][k];
+                        b_num.set(j, k, b_num.get(j, k) + w);
+                        loss_num[k] += w;
+                        sym_total[k] += w;
+                    }
+                }
+            }
+        }
+        // Transition expectations (xi), for t < T-1:
+        // xi_t(i, j) ∝ alpha_t(i) a(i,j) e_{t+1}(j) beta_{t+1}(j).
+        if t + 1 < t_len {
+            let a_row_base = fb.alpha.row(t);
+            let b_next = fb.beta.row(t + 1);
+            let e_next = emis.row(t + 1);
+            let mut norm = 0.0;
+            let mut xi = Matrix::zeros(n, n);
+            for i in 0..n {
+                let ai = a_row_base[i];
+                if ai == 0.0 {
+                    continue;
+                }
+                let arow = model.transition().row(i);
+                for j in 0..n {
+                    let v = ai * arow[j] * e_next[j] * b_next[j];
+                    xi.set(i, j, v);
+                    norm += v;
+                }
+            }
+            if norm > 0.0 {
+                let inv = 1.0 / norm;
+                for i in 0..n {
+                    for j in 0..n {
+                        trans_num.set(i, j, trans_num.get(i, j) + xi.get(i, j) * inv);
+                    }
+                }
+                for (i, g) in gamma.iter().enumerate() {
+                    gamma_sum[i] += g;
+                }
+            }
+        }
+    }
+
+    // M-step.
+    let mut a_new = trans_num;
+    a_new.normalize_rows();
+    let mut b_new = b_num;
+    b_new.normalize_rows();
+    let c_new: Vec<f64> = (0..m)
+        .map(|k| {
+            if sym_total[k] > 0.0 {
+                (loss_num[k] / sym_total[k]).clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    dcl_probnum::stochastic::normalize(&mut pi_new);
+
+    (
+        Hmm::from_parts(pi_new, a_new, b_new, c_new),
+        fb.log_likelihood,
+    )
+}
+
+/// Fit an HMM to `obs` by EM with random restarts.
+///
+/// Panics if the sequence is empty or contains symbols outside
+/// `1..=num_symbols`.
+pub fn fit(obs: &[Obs], opts: &EmOptions) -> FitResult {
+    assert!(!obs.is_empty(), "empty observation sequence");
+    validate_sequence(obs, opts.num_symbols).expect("invalid observation sequence");
+    assert!(opts.num_states > 0 && opts.restarts > 0);
+
+    let mut best: Option<FitResult> = None;
+    for r in 0..opts.restarts {
+        let mut rng = SmallRng::seed_from_u64(opts.seed.wrapping_add(r as u64 * 0x9E37));
+        let mut model = Hmm::random(opts.num_states, opts.num_symbols, &mut rng);
+        if opts.restrict_loss_to_observed {
+            apply_loss_restriction(&mut model.c, obs);
+        }
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut last_ll = f64::NEG_INFINITY;
+        for it in 0..opts.max_iters {
+            let (next, ll) = em_step(&model, obs);
+            last_ll = ll;
+            iterations = it + 1;
+            let delta = next.max_param_diff(&model);
+            model = next;
+            if delta < opts.tol {
+                converged = true;
+                break;
+            }
+        }
+        // Likelihood of the final model (one more forward pass).
+        let final_ll = model.log_likelihood(obs).max(last_ll);
+        let candidate = FitResult {
+            model,
+            log_likelihood: final_ll,
+            iterations,
+            converged,
+        };
+        best = match best {
+            None => Some(candidate),
+            Some(b) if candidate.log_likelihood > b.log_likelihood => Some(candidate),
+            Some(b) => Some(b),
+        };
+    }
+    best.expect("at least one restart ran")
+}
+
+
+/// Zero the loss probabilities of symbols never observed delivered (see
+/// [`EmOptions::restrict_loss_to_observed`]). No-op when nothing was
+/// observed (all-loss sequences are rejected upstream anyway).
+fn apply_loss_restriction(c: &mut [f64], obs: &[Obs]) {
+    let mut observed = vec![false; c.len()];
+    for o in obs {
+        if let Some(s) = o.symbol() {
+            observed[s - 1] = true;
+        }
+    }
+    if observed.iter().any(|&b| b) {
+        for (cm, seen) in c.iter_mut().zip(&observed) {
+            if !seen {
+                *cm = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fit_rejects_bad_symbols() {
+        let result = std::panic::catch_unwind(|| {
+            fit(
+                &[Obs::Sym(9)],
+                &EmOptions {
+                    num_symbols: 5,
+                    ..EmOptions::default()
+                },
+            )
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn fit_handles_loss_free_sequences() {
+        // All-observed data: c must collapse to ~0 and the fit succeed.
+        let truth = Hmm::from_parts(
+            vec![1.0],
+            Matrix::from_vec(1, 1, vec![1.0]),
+            Matrix::from_vec(1, 3, vec![0.2, 0.5, 0.3]),
+            vec![0.0, 0.0, 0.0],
+        );
+        let mut rng = SmallRng::seed_from_u64(2);
+        let obs = truth.generate(&mut rng, 2000);
+        let r = fit(
+            &obs,
+            &EmOptions {
+                num_states: 1,
+                num_symbols: 3,
+                ..EmOptions::default()
+            },
+        );
+        assert!(r.log_likelihood.is_finite());
+        assert!(r.model.loss_probs().iter().all(|&c| c < 1e-6));
+        // The emission distribution should match the empirical frequencies.
+        let freq2 = obs
+            .iter()
+            .filter(|&&o| o == Obs::Sym(2))
+            .count() as f64
+            / obs.len() as f64;
+        assert!((r.model.emission().get(0, 1) - freq2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_state_model_recovers_loss_probabilities() {
+        // With N=1 the model is i.i.d.; c_m should approach the planted
+        // per-symbol loss rates.
+        let truth = Hmm::from_parts(
+            vec![1.0],
+            Matrix::from_vec(1, 1, vec![1.0]),
+            Matrix::from_vec(1, 4, vec![0.4, 0.3, 0.2, 0.1]),
+            vec![0.0, 0.0, 0.1, 0.6],
+        );
+        let mut rng = SmallRng::seed_from_u64(8);
+        let obs = truth.generate(&mut rng, 60_000);
+        let r = fit(
+            &obs,
+            &EmOptions {
+                num_states: 1,
+                num_symbols: 4,
+                tol: 1e-6,
+                max_iters: 500,
+                seed: 3,
+                restarts: 1,
+                restrict_loss_to_observed: true,
+            },
+        );
+        // Note: with one state the per-symbol loss split is identifiable
+        // only through the emission/loss coupling; allow a loose tolerance.
+        let c = r.model.loss_probs();
+        assert!(c[3] > c[2], "c must increase with the lossy symbol: {c:?}");
+        assert!(c[0] < 0.05 && c[1] < 0.05, "{c:?}");
+    }
+
+    fn planted() -> Hmm {
+        Hmm::from_parts(
+            vec![0.5, 0.5],
+            Matrix::from_vec(2, 2, vec![0.97, 0.03, 0.05, 0.95]),
+            Matrix::from_vec(
+                2,
+                5,
+                vec![
+                    0.55, 0.35, 0.10, 0.00, 0.00, //
+                    0.00, 0.00, 0.10, 0.30, 0.60,
+                ],
+            ),
+            vec![0.0, 0.0, 0.02, 0.10, 0.35],
+        )
+    }
+
+    #[test]
+    fn restarts_pick_the_best_likelihood() {
+        let truth = planted();
+        let mut rng = SmallRng::seed_from_u64(21);
+        let obs = truth.generate(&mut rng, 5000);
+        let single = fit(
+            &obs,
+            &EmOptions {
+                num_states: 2,
+                num_symbols: 5,
+                restarts: 1,
+                seed: 100,
+                ..EmOptions::default()
+            },
+        );
+        let multi = fit(
+            &obs,
+            &EmOptions {
+                num_states: 2,
+                num_symbols: 5,
+                restarts: 4,
+                seed: 100,
+                ..EmOptions::default()
+            },
+        );
+        assert!(multi.log_likelihood >= single.log_likelihood - 1e-9);
+    }
+}

@@ -1,0 +1,99 @@
+//! Hidden Markov model with loss-augmented emissions.
+//!
+//! The model of §V of the paper, HMM variant: `N` hidden states drive a
+//! Markov chain; state `j` emits a discretised delay symbol `m ∈ 1..=M` with
+//! probability `b_j(m)`, and independently the probe carrying symbol `m` is
+//! lost with probability `c_m = P(loss | delay symbol = m)`. The observer
+//! sees either the symbol (probe delivered) or a bare loss (the symbol is
+//! *missing*). The EM algorithm is the Baum–Welch recursion of Rabiner [31]
+//! extended to these missing values; after fitting,
+//! [`Hmm::loss_delay_pmf`] recovers `P(delay symbol | loss)` — the virtual
+//! queuing delay distribution of the lost probes (the paper's Eq. (5)).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod em;
+mod model;
+
+pub use em::{em_step, fit, EmOptions, FitResult};
+pub use model::Hmm;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// A ground-truth model with two clearly separated regimes:
+    /// state 0 = "quiet" (low symbols, no loss), state 1 = "congested"
+    /// (high symbols, losses).
+    fn planted() -> Hmm {
+        Hmm::from_parts(
+            vec![0.5, 0.5],
+            dcl_probnum::Matrix::from_vec(2, 2, vec![0.97, 0.03, 0.05, 0.95]),
+            dcl_probnum::Matrix::from_vec(
+                2,
+                5,
+                vec![
+                    0.55, 0.35, 0.10, 0.00, 0.00, // quiet
+                    0.00, 0.00, 0.10, 0.30, 0.60, // congested
+                ],
+            ),
+            vec![0.0, 0.0, 0.02, 0.10, 0.35],
+        )
+    }
+
+    #[test]
+    fn em_recovers_loss_delay_distribution_of_planted_model() {
+        let truth = planted();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let obs = truth.generate(&mut rng, 30_000);
+        assert!(obs.iter().any(|o| o.is_loss()), "need losses in the data");
+
+        let result = fit(
+            &obs,
+            &EmOptions {
+                num_states: 2,
+                num_symbols: 5,
+                tol: 1e-5,
+                max_iters: 300,
+                seed: 7,
+                restarts: 2,
+                restrict_loss_to_observed: true,
+            },
+        );
+        assert!(result.log_likelihood.is_finite());
+
+        // Compare the virtual queuing delay distribution inferred by the
+        // fitted model against the one the generating model implies.
+        let inferred = result.model.loss_delay_pmf(&obs).expect("losses present");
+        let truth_pmf = truth.loss_delay_pmf(&obs).expect("losses present");
+        // HMM is the weaker of the paper's two models (it misses some of
+        // the delay correlation; cf. Fig. 8) — require qualitative rather
+        // than exact agreement.
+        let tv = inferred.total_variation(&truth_pmf);
+        assert!(tv < 0.25, "total variation {tv}: {inferred:?} vs {truth_pmf:?}");
+        // The loss mass must concentrate on the high symbols.
+        let f = inferred.cdf();
+        assert!(f.value(3) < 0.15, "low symbols should carry no loss mass");
+    }
+
+    #[test]
+    fn em_monotonically_improves_likelihood() {
+        let truth = planted();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let obs = truth.generate(&mut rng, 4000);
+        let mut model = Hmm::random(2, 5, &mut SmallRng::seed_from_u64(1));
+        let mut prev = f64::NEG_INFINITY;
+        for _ in 0..25 {
+            let (next, ll) = em_step(&model, &obs);
+            assert!(
+                ll >= prev - 1e-7,
+                "EM decreased the likelihood: {prev} -> {ll}"
+            );
+            prev = ll;
+            model = next;
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! The HMM parameterisation and inference queries.
+
+// Index-based loops are deliberate in the numeric kernels below: the
+// indices couple several arrays at once and mirror the papers' notation.
+#![allow(clippy::needless_range_loop)]
+
+use dcl_probnum::obs::Obs;
+use dcl_probnum::{stochastic, ForwardBackward, Matrix, Pmf};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A hidden Markov model over delay symbols with per-symbol loss
+/// probabilities.
+///
+/// Parameters (`N` hidden states, `M` symbols):
+///
+/// * `pi` — initial hidden-state distribution (`N`);
+/// * `a`  — hidden-state transition matrix (`N x N`, row stochastic);
+/// * `b`  — emission matrix (`N x M`, row stochastic): `b[j][m-1]` is the
+///   probability that state `j` produces delay symbol `m`;
+/// * `c`  — loss probabilities (`M`): `c[m-1] = P(loss | symbol m)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Hmm {
+    pub(crate) pi: Vec<f64>,
+    pub(crate) a: Matrix,
+    pub(crate) b: Matrix,
+    pub(crate) c: Vec<f64>,
+}
+
+impl Hmm {
+    /// Assemble a model from its parts, validating shapes and
+    /// stochasticity.
+    pub fn from_parts(pi: Vec<f64>, a: Matrix, b: Matrix, c: Vec<f64>) -> Self {
+        let n = pi.len();
+        let m = c.len();
+        assert!(n > 0 && m > 0, "model needs at least one state and symbol");
+        assert_eq!(a.rows(), n);
+        assert_eq!(a.cols(), n);
+        assert_eq!(b.rows(), n);
+        assert_eq!(b.cols(), m);
+        assert!(stochastic::is_distribution(&pi), "pi must be stochastic");
+        assert!(a.is_row_stochastic(), "A must be row stochastic");
+        assert!(b.is_row_stochastic(), "B must be row stochastic");
+        assert!(
+            c.iter().all(|&x| (0.0..=1.0).contains(&x)),
+            "loss probabilities must be in [0, 1]"
+        );
+        Hmm { pi, a, b, c }
+    }
+
+    /// Random model for EM initialisation, following the guidelines of
+    /// Rabiner [31]: strictly positive random stochastic parameters; loss
+    /// probabilities start small and increasing with the symbol (losses
+    /// correlate with long delays).
+    pub fn random<R: Rng + ?Sized>(num_states: usize, num_symbols: usize, rng: &mut R) -> Self {
+        let pi = stochastic::random_distribution(rng, num_states);
+        let a = Matrix::random_stochastic(rng, num_states, num_states);
+        let b = Matrix::random_stochastic(rng, num_states, num_symbols);
+        let c = (0..num_symbols)
+            .map(|m| 0.02 + 0.1 * (m as f64 + rng.gen_range(0.0..1.0)) / num_symbols as f64)
+            .collect();
+        Hmm { pi, a, b, c }
+    }
+
+    /// Number of hidden states `N`.
+    pub fn num_states(&self) -> usize {
+        self.pi.len()
+    }
+
+    /// Number of delay symbols `M`.
+    pub fn num_symbols(&self) -> usize {
+        self.c.len()
+    }
+
+    /// Initial hidden-state distribution.
+    pub fn initial(&self) -> &[f64] {
+        &self.pi
+    }
+
+    /// Hidden-state transition matrix.
+    pub fn transition(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// Emission matrix.
+    pub fn emission(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// Per-symbol loss probabilities `c_m`.
+    pub fn loss_probs(&self) -> &[f64] {
+        &self.c
+    }
+
+    /// Emission likelihood of observation `o` in state `j`:
+    /// `b_j(m) (1 - c_m)` for an observed symbol `m`, and
+    /// `sum_m b_j(m) c_m` for a loss.
+    pub fn emission_likelihood(&self, j: usize, o: Obs) -> f64 {
+        match o {
+            Obs::Sym(s) => {
+                let m = s as usize - 1;
+                self.b.get(j, m) * (1.0 - self.c[m])
+            }
+            Obs::Loss => self
+                .b
+                .row(j)
+                .iter()
+                .zip(&self.c)
+                .map(|(&bm, &cm)| bm * cm)
+                .sum(),
+        }
+    }
+
+    /// The `T x N` emission-likelihood matrix for a sequence.
+    pub(crate) fn emission_table(&self, obs: &[Obs]) -> Matrix {
+        let n = self.num_states();
+        let mut e = Matrix::zeros(obs.len(), n);
+        for (t, &o) in obs.iter().enumerate() {
+            for j in 0..n {
+                e.set(t, j, self.emission_likelihood(j, o));
+            }
+        }
+        e
+    }
+
+    /// Run the scaled forward–backward recursion for `obs`.
+    pub(crate) fn forward_backward(&self, obs: &[Obs]) -> ForwardBackward {
+        let e = self.emission_table(obs);
+        ForwardBackward::run(&self.pi, &self.a, &e)
+    }
+
+    /// Log-likelihood of an observation sequence under this model.
+    pub fn log_likelihood(&self, obs: &[Obs]) -> f64 {
+        assert!(!obs.is_empty(), "empty observation sequence");
+        self.forward_backward(obs).log_likelihood
+    }
+
+    /// Posterior distribution of the delay symbol of a *lost* observation in
+    /// state `j`: `P(m | state j, loss) ∝ b_j(m) c_m`.
+    pub(crate) fn loss_symbol_posterior(&self, j: usize) -> Vec<f64> {
+        let mut p: Vec<f64> = self
+            .b
+            .row(j)
+            .iter()
+            .zip(&self.c)
+            .map(|(&bm, &cm)| bm * cm)
+            .collect();
+        stochastic::normalize(&mut p);
+        p
+    }
+
+    /// The virtual queuing delay distribution `P(delay symbol | loss)`
+    /// inferred from the entire observation sequence (the paper's Eq. (5)):
+    /// expected symbol counts of the loss observations under the smoothed
+    /// state posteriors.
+    ///
+    /// Returns `None` when the sequence contains no losses.
+    pub fn loss_delay_pmf(&self, obs: &[Obs]) -> Option<Pmf> {
+        if !obs.iter().any(|o| o.is_loss()) {
+            return None;
+        }
+        let fb = self.forward_backward(obs);
+        let m = self.num_symbols();
+        let mut mass = vec![0.0; m];
+        for (t, &o) in obs.iter().enumerate() {
+            if !o.is_loss() {
+                continue;
+            }
+            let gamma = fb.gamma(t);
+            for (j, &gj) in gamma.iter().enumerate() {
+                if gj == 0.0 {
+                    continue;
+                }
+                let post = self.loss_symbol_posterior(j);
+                for (k, &pk) in post.iter().enumerate() {
+                    mass[k] += gj * pk;
+                }
+            }
+        }
+        Some(Pmf::from_mass(mass))
+    }
+
+
+    /// Viterbi decoding: the most probable hidden-state path for `obs`, in
+    /// log space. Returns one state index per observation plus the path's
+    /// log probability.
+    pub fn viterbi(&self, obs: &[Obs]) -> (Vec<usize>, f64) {
+        assert!(!obs.is_empty(), "empty observation sequence");
+        let n = self.num_states();
+        let t_len = obs.len();
+        let ln = |x: f64| if x > 0.0 { x.ln() } else { f64::NEG_INFINITY };
+        let mut delta: Vec<f64> = (0..n)
+            .map(|j| ln(self.pi[j]) + ln(self.emission_likelihood(j, obs[0])))
+            .collect();
+        let mut back = vec![vec![0usize; n]; t_len];
+        for t in 1..t_len {
+            let mut next = vec![f64::NEG_INFINITY; n];
+            for j in 0..n {
+                let e = ln(self.emission_likelihood(j, obs[t]));
+                if e == f64::NEG_INFINITY {
+                    continue;
+                }
+                let mut best = f64::NEG_INFINITY;
+                let mut arg = 0;
+                for i in 0..n {
+                    let v = delta[i] + ln(self.a.get(i, j));
+                    if v > best {
+                        best = v;
+                        arg = i;
+                    }
+                }
+                next[j] = best + e;
+                back[t][j] = arg;
+            }
+            delta = next;
+        }
+        let (mut cur, mut best) = (0usize, f64::NEG_INFINITY);
+        for (j, &v) in delta.iter().enumerate() {
+            if v > best {
+                best = v;
+                cur = j;
+            }
+        }
+        let mut path = vec![0usize; t_len];
+        path[t_len - 1] = cur;
+        for t in (1..t_len).rev() {
+            cur = back[t][cur];
+            path[t - 1] = cur;
+        }
+        (path, best)
+    }
+
+    /// Sample an observation sequence of length `len` from the model
+    /// (for tests and synthetic studies).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, len: usize) -> Vec<Obs> {
+        let mut out = Vec::with_capacity(len);
+        if len == 0 {
+            return out;
+        }
+        let mut state = stochastic::sample_index(rng, &self.pi);
+        for t in 0..len {
+            if t > 0 {
+                state = stochastic::sample_index(rng, self.a.row(state));
+            }
+            let sym = stochastic::sample_index(rng, self.b.row(state));
+            let lost = rng.gen_bool(self.c[sym].clamp(0.0, 1.0));
+            out.push(if lost {
+                Obs::Loss
+            } else {
+                Obs::Sym((sym + 1) as u16)
+            });
+        }
+        out
+    }
+
+    /// Maximum absolute difference between the parameters of two models
+    /// (the EM convergence metric).
+    pub fn max_param_diff(&self, other: &Hmm) -> f64 {
+        let mut d = stochastic::max_abs_diff(&self.pi, &other.pi);
+        d = d.max(self.a.max_abs_diff(&other.a));
+        d = d.max(self.b.max_abs_diff(&other.b));
+        d.max(stochastic::max_abs_diff(&self.c, &other.c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> Hmm {
+        Hmm::from_parts(
+            vec![1.0, 0.0],
+            Matrix::from_vec(2, 2, vec![0.9, 0.1, 0.2, 0.8]),
+            Matrix::from_vec(2, 3, vec![0.8, 0.2, 0.0, 0.0, 0.3, 0.7]),
+            vec![0.0, 0.1, 0.5],
+        )
+    }
+
+    #[test]
+    fn emission_likelihood_definitions() {
+        let h = tiny();
+        // Observed symbol 2 in state 0: 0.2 * (1 - 0.1).
+        assert!((h.emission_likelihood(0, Obs::Sym(2)) - 0.18).abs() < 1e-12);
+        // Loss in state 1: 0*0 + 0.3*0.1 + 0.7*0.5.
+        assert!((h.emission_likelihood(1, Obs::Loss) - 0.38).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_symbol_posterior_is_normalised_and_weighted() {
+        let h = tiny();
+        let p = h.loss_symbol_posterior(1);
+        assert!(dcl_probnum::stochastic::is_distribution(&p));
+        // In state 1: symbol 3 carries 0.35 of 0.38 loss mass.
+        assert!((p[2] - 0.35 / 0.38).abs() < 1e-12);
+        assert_eq!(p[0], 0.0);
+    }
+
+    #[test]
+    fn generate_respects_loss_free_symbols() {
+        let h = tiny();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let obs = h.generate(&mut rng, 5000);
+        assert_eq!(obs.len(), 5000);
+        // Symbol 1 has c=0; the model can never lose a symbol-1 probe, and
+        // state 0 (initial) emits it mostly, so it must appear.
+        assert!(obs.contains(&Obs::Sym(1)));
+    }
+
+    #[test]
+    fn viterbi_separates_quiet_and_congested_regimes() {
+        // Two sticky states with disjoint emissions: the decoded path must
+        // flip exactly where the observations flip.
+        let h = Hmm::from_parts(
+            vec![0.9, 0.1],
+            Matrix::from_vec(2, 2, vec![0.95, 0.05, 0.05, 0.95]),
+            Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]),
+            vec![0.0, 0.3],
+        );
+        let obs = vec![
+            Obs::Sym(1),
+            Obs::Sym(1),
+            Obs::Sym(2),
+            Obs::Loss,
+            Obs::Sym(2),
+            Obs::Sym(1),
+        ];
+        let (path, ll) = h.viterbi(&obs);
+        assert!(ll.is_finite());
+        assert_eq!(path, vec![0, 0, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn viterbi_path_probability_is_at_most_sequence_likelihood() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let h = Hmm::random(3, 4, &mut rng);
+        let obs = h.generate(&mut rng, 60);
+        let (_, ll_path) = h.viterbi(&obs);
+        assert!(ll_path <= h.log_likelihood(&obs) + 1e-9);
+    }
+
+    #[test]
+    fn loss_delay_pmf_none_without_losses() {
+        let h = tiny();
+        assert!(h.loss_delay_pmf(&[Obs::Sym(1), Obs::Sym(2)]).is_none());
+    }
+
+    #[test]
+    fn log_likelihood_prefers_generating_model() {
+        let truth = tiny();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let obs = truth.generate(&mut rng, 3000);
+        let other = Hmm::from_parts(
+            vec![0.5, 0.5],
+            Matrix::uniform_stochastic(2, 2),
+            Matrix::uniform_stochastic(2, 3),
+            vec![0.2, 0.2, 0.2],
+        );
+        assert!(truth.log_likelihood(&obs) > other.log_likelihood(&obs));
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_parts_rejects_nonstochastic() {
+        let _ = Hmm::from_parts(
+            vec![0.7, 0.7],
+            Matrix::uniform_stochastic(2, 2),
+            Matrix::uniform_stochastic(2, 3),
+            vec![0.0; 3],
+        );
+    }
+}

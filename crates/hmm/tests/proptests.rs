@@ -1,0 +1,97 @@
+//! Property-based tests for the HMM with loss-augmented emissions.
+
+use dcl_hmm::{em_step, Hmm};
+use dcl_probnum::obs::validate_sequence;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn random_model() -> impl Strategy<Value = (Hmm, u64)> {
+    (1usize..4, 2usize..6, any::<u64>()).prop_map(|(n, m, seed)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (Hmm::random(n, m, &mut rng), seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_sequences_are_valid((model, seed) in random_model(), len in 1usize..300) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xFACE);
+        let obs = model.generate(&mut rng, len);
+        prop_assert_eq!(obs.len(), len);
+        prop_assert!(validate_sequence(&obs, model.num_symbols()).is_ok());
+    }
+
+    #[test]
+    fn em_step_never_decreases_likelihood((model, seed) in random_model()) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xBEEF);
+        let obs = model.generate(&mut rng, 250);
+        let mut rng2 = SmallRng::seed_from_u64(seed ^ 0xD00D);
+        let mut cur = Hmm::random(model.num_states(), model.num_symbols(), &mut rng2);
+        let mut prev = f64::NEG_INFINITY;
+        for _ in 0..6 {
+            let (next, ll) = em_step(&cur, &obs);
+            prop_assert!(ll >= prev - 1e-6, "EM decreased likelihood: {prev} -> {ll}");
+            prev = ll;
+            cur = next;
+        }
+    }
+
+    #[test]
+    fn em_step_preserves_stochasticity((model, seed) in random_model()) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0DE);
+        let obs = model.generate(&mut rng, 200);
+        let (next, _) = em_step(&model, &obs);
+        prop_assert!(next.transition().is_row_stochastic());
+        prop_assert!(next.emission().is_row_stochastic());
+        let pi_sum: f64 = next.initial().iter().sum();
+        prop_assert!((pi_sum - 1.0).abs() < 1e-9);
+        prop_assert!(next.loss_probs().iter().all(|&c| (0.0..=1.0).contains(&c)));
+    }
+
+    #[test]
+    fn loss_delay_pmf_is_distribution_when_losses_exist((model, seed) in random_model()) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xF00D);
+        let obs = model.generate(&mut rng, 300);
+        match model.loss_delay_pmf(&obs) {
+            Some(pmf) => {
+                let sum: f64 = pmf.mass().iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-9);
+            }
+            None => prop_assert!(obs.iter().all(|o| !o.is_loss())),
+        }
+    }
+
+    /// The HMM and the MMHD agree on the likelihood of an i.i.d. model:
+    /// with N = 1 and uniform transitions both reduce to the same
+    /// independent mixture.
+    #[test]
+    fn hmm_and_mmhd_agree_on_iid_models(
+        m in 2usize..5,
+        seed in any::<u64>(),
+        len in 10usize..200,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let weights = dcl_probnum::stochastic::random_distribution(&mut rng, m);
+        let c: Vec<f64> = (0..m).map(|i| 0.1 + 0.05 * i as f64).collect();
+        let hmm = Hmm::from_parts(
+            vec![1.0],
+            dcl_probnum::Matrix::from_vec(1, 1, vec![1.0]),
+            dcl_probnum::Matrix::from_vec(1, m, weights.clone()),
+            c.clone(),
+        );
+        // MMHD with N = 1 and every row equal to the weights: an i.i.d.
+        // symbol process.
+        let mut p = dcl_probnum::Matrix::zeros(m, m);
+        for r in 0..m {
+            p.row_mut(r).copy_from_slice(&weights);
+        }
+        let mmhd = dcl_mmhd::Mmhd::from_parts(weights.clone(), p, c, 1);
+        let obs = hmm.generate(&mut rng, len);
+        let l1 = hmm.log_likelihood(&obs);
+        let l2 = mmhd.log_likelihood(&obs);
+        prop_assert!((l1 - l2).abs() < 1e-7, "HMM {l1} vs MMHD {l2}");
+    }
+}

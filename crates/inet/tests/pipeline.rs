@@ -1,0 +1,97 @@
+//! Integration tests for the wide-area measurement pipeline.
+
+use dcl_inet::{AccessKind, ClockModel, RawMeasurement, WideAreaConfig, WideAreaPath};
+use dcl_netsim::scenarios::TrafficMix;
+use dcl_netsim::time::Dur;
+
+fn tiny_cfg(clock: ClockModel, seed: u64) -> WideAreaConfig {
+    WideAreaConfig {
+        num_hops: 4,
+        access: AccessKind::Ethernet,
+        congested: vec![],
+        access_traffic: TrafficMix::none(),
+        clock,
+        seed,
+    }
+}
+
+#[test]
+fn raw_measurement_lengths_align() {
+    let mut path = WideAreaPath::build(&tiny_cfg(ClockModel::perfect(), 1));
+    let raw = path.run(Dur::from_secs(2.0), Dur::from_secs(20.0));
+    assert_eq!(raw.send_secs.len(), raw.recv_secs.len());
+    assert_eq!(raw.len(), raw.ground_truth.len());
+    assert!(!raw.is_empty());
+    // Clean path: everything delivered, owds positive and small.
+    for owd in raw.raw_owds().into_iter().flatten() {
+        assert!(owd > 0.0 && owd < 1.0, "owd {owd}");
+    }
+}
+
+#[test]
+fn negative_skew_clock_is_corrected_too() {
+    let clock = ClockModel {
+        skew: -120e-6,
+        offset: 999.0,
+    };
+    let mut path = WideAreaPath::build(&tiny_cfg(clock, 2));
+    let raw = path.run(Dur::from_secs(2.0), Dur::from_secs(60.0));
+    let corrected = raw.to_trace(Dur::from_millis(1.0));
+    // Relative delays must match the ground truth despite the negative
+    // drift (raw delays *shrink* over the trace).
+    let truth = &raw.ground_truth;
+    let t_min = truth.min_owd().unwrap().as_secs();
+    let c_min = corrected.min_owd().unwrap().as_secs();
+    for (tr, cr) in truth.records.iter().zip(&corrected.records) {
+        if let (Some(td), Some(cd)) = (tr.owd(), cr.owd()) {
+            let diff = (td.as_secs() - t_min) - (cd.as_secs() - c_min);
+            assert!(diff.abs() < 2e-4, "relative delay drifted by {diff}");
+        }
+    }
+}
+
+#[test]
+fn to_trace_preserves_loss_pattern_and_order() {
+    let mut path = WideAreaPath::build(&tiny_cfg(
+        ClockModel {
+            skew: 80e-6,
+            offset: -5.0,
+        },
+        3,
+    ));
+    let raw = path.run(Dur::from_secs(2.0), Dur::from_secs(30.0));
+    let trace = raw.to_trace(Dur::from_millis(1.0));
+    assert_eq!(trace.len(), raw.ground_truth.len());
+    for (a, b) in trace.records.iter().zip(&raw.ground_truth.records) {
+        assert_eq!(a.stamp.seq, b.stamp.seq);
+        assert_eq!(a.delivered(), b.delivered());
+    }
+}
+
+#[test]
+fn clock_reading_is_affine() {
+    let c = ClockModel {
+        skew: 1e-4,
+        offset: 10.0,
+    };
+    let r0 = c.reading(0.0);
+    let r1 = c.reading(100.0);
+    assert!((r0 - 10.0).abs() < 1e-12);
+    assert!((r1 - (110.0 + 0.01)).abs() < 1e-9);
+}
+
+#[test]
+fn empty_measurement_handles_gracefully() {
+    let raw = RawMeasurement {
+        send_secs: vec![],
+        recv_secs: vec![],
+        ground_truth: dcl_netsim::ProbeTrace {
+            records: vec![],
+            base_delay: Dur::ZERO,
+            interval: Dur::from_millis(20.0),
+        },
+    };
+    assert!(raw.is_empty());
+    let trace = raw.to_trace(Dur::from_millis(1.0));
+    assert!(trace.is_empty());
+}

@@ -1,0 +1,214 @@
+//! The loss-pair baseline (Liu & Crovella, IMW 2001).
+//!
+//! A *loss pair* is a pair of back-to-back probes of which exactly one is
+//! lost. Assuming both probes saw (nearly) the same queue, the surviving
+//! probe's delay stands in for the lost probe's — an *empirical* estimate of
+//! the virtual queuing delay that the paper's model-based approach is
+//! compared against in Tables II–III. The approach is simple but, as the
+//! paper shows, sensitive to queuing at links other than the dominant one:
+//! the two probes are only "close" at the loss link, while the survivor's
+//! end-end delay also carries whatever the other queues did to it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dcl_netsim::time::Dur;
+use dcl_netsim::trace::ProbeTrace;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One extracted loss pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LossPair {
+    /// Pair id from the probe stamps.
+    pub pair: u64,
+    /// Which slot was lost (0 or 1).
+    pub lost_slot: u8,
+    /// One-way delay of the surviving probe.
+    pub survivor_owd: Dur,
+}
+
+/// Summary of a loss-pair extraction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LossPairAnalysis {
+    /// The loss pairs, in pair order.
+    pub pairs: Vec<LossPair>,
+    /// Pairs in which both probes were lost (unusable).
+    pub both_lost: usize,
+    /// Pairs in which both probes survived.
+    pub both_delivered: usize,
+}
+
+impl LossPairAnalysis {
+    /// Queuing-delay samples attributed to the lost probes: the survivor's
+    /// one-way delay minus the path's delay floor.
+    pub fn virtual_queuing_samples(&self, floor: Dur) -> Vec<Dur> {
+        self.pairs
+            .iter()
+            .map(|p| p.survivor_owd.saturating_sub_floor(floor))
+            .collect()
+    }
+
+    /// Point estimate of the dominant link's maximum queuing delay: the
+    /// median of the loss-pair samples. The median matches how the loss-pair
+    /// technique reads the dominant mode of its sample histogram and is
+    /// robust to the occasional pair whose survivor also queued elsewhere.
+    pub fn max_queuing_delay_estimate(&self, floor: Dur) -> Option<Dur> {
+        let mut samples = self.virtual_queuing_samples(floor);
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        Some(samples[samples.len() / 2])
+    }
+}
+
+/// Extract loss pairs from a trace recorded in pair-probing mode.
+///
+/// Probes without pair ids (single-probe traces) are ignored, so running
+/// this on a single-probe trace yields an empty analysis rather than an
+/// error — callers should check [`LossPairAnalysis::pairs`].
+pub fn extract(trace: &ProbeTrace) -> LossPairAnalysis {
+    // pair id -> (slot0: Option<delivered owd>, seen flags)
+    struct Slot {
+        owd: [Option<Option<Dur>>; 2], // outer: seen, inner: delivered owd
+    }
+    let mut by_pair: HashMap<u64, Slot> = HashMap::new();
+    for r in &trace.records {
+        if let Some((pair, slot)) = r.stamp.pair {
+            let e = by_pair.entry(pair).or_insert(Slot { owd: [None, None] });
+            e.owd[slot as usize % 2] = Some(r.owd());
+        }
+    }
+    let mut pairs = Vec::new();
+    let mut both_lost = 0;
+    let mut both_delivered = 0;
+    let mut ids: Vec<u64> = by_pair.keys().copied().collect();
+    ids.sort_unstable();
+    for id in ids {
+        let slot = &by_pair[&id];
+        match (slot.owd[0].flatten(), slot.owd[1].flatten()) {
+            (Some(_), Some(_)) => both_delivered += 1,
+            (None, None)
+                // Both lost, or the pair is incomplete at the trace edge.
+                if slot.owd[0].is_some() && slot.owd[1].is_some() => {
+                    both_lost += 1;
+                }
+            (Some(owd), None) if slot.owd[1].is_some() => pairs.push(LossPair {
+                pair: id,
+                lost_slot: 1,
+                survivor_owd: owd,
+            }),
+            (None, Some(owd)) if slot.owd[0].is_some() => pairs.push(LossPair {
+                pair: id,
+                lost_slot: 0,
+                survivor_owd: owd,
+            }),
+            _ => {}
+        }
+    }
+    LossPairAnalysis {
+        pairs,
+        both_lost,
+        both_delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcl_netsim::packet::ProbeStamp;
+    use dcl_netsim::sim::ProbeRecord;
+    use dcl_netsim::time::Time;
+
+    fn rec(seq: u64, pair: u64, slot: u8, owd_ms: Option<f64>) -> ProbeRecord {
+        let sent = Time::from_secs(seq as f64 * 0.02);
+        let mut stamp = ProbeStamp::new(seq, Some((pair, slot)), sent);
+        if owd_ms.is_none() {
+            stamp.loss_hop = Some(1);
+        }
+        ProbeRecord {
+            stamp,
+            arrival: owd_ms.map(|ms| sent + Dur::from_millis(ms)),
+        }
+    }
+
+    fn trace(records: Vec<ProbeRecord>) -> ProbeTrace {
+        ProbeTrace {
+            records,
+            base_delay: Dur::from_millis(20.0),
+            interval: Dur::from_millis(40.0),
+        }
+    }
+
+    #[test]
+    fn classifies_pairs() {
+        let t = trace(vec![
+            rec(0, 0, 0, Some(30.0)),
+            rec(1, 0, 1, Some(31.0)), // both delivered
+            rec(2, 1, 0, None),
+            rec(3, 1, 1, Some(180.0)), // loss pair: slot 0 lost
+            rec(4, 2, 0, None),
+            rec(5, 2, 1, None), // both lost
+            rec(6, 3, 0, Some(175.0)),
+            rec(7, 3, 1, None), // loss pair: slot 1 lost
+        ]);
+        let a = extract(&t);
+        assert_eq!(a.both_delivered, 1);
+        assert_eq!(a.both_lost, 1);
+        assert_eq!(a.pairs.len(), 2);
+        assert_eq!(a.pairs[0].lost_slot, 0);
+        assert_eq!(a.pairs[0].survivor_owd, Dur::from_millis(180.0));
+        assert_eq!(a.pairs[1].lost_slot, 1);
+    }
+
+    #[test]
+    fn samples_subtract_floor_and_estimate_median() {
+        let t = trace(vec![
+            rec(0, 0, 0, None),
+            rec(1, 0, 1, Some(180.0)),
+            rec(2, 1, 0, None),
+            rec(3, 1, 1, Some(170.0)),
+            rec(4, 2, 0, None),
+            rec(5, 2, 1, Some(260.0)),
+        ]);
+        let a = extract(&t);
+        let s = a.virtual_queuing_samples(Dur::from_millis(20.0));
+        assert_eq!(
+            s,
+            vec![
+                Dur::from_millis(160.0),
+                Dur::from_millis(150.0),
+                Dur::from_millis(240.0)
+            ]
+        );
+        assert_eq!(
+            a.max_queuing_delay_estimate(Dur::from_millis(20.0)),
+            Some(Dur::from_millis(160.0))
+        );
+    }
+
+    #[test]
+    fn single_probe_traces_yield_empty_analysis() {
+        let mut stamp = ProbeStamp::new(0, None, Time::ZERO);
+        stamp.loss_hop = Some(0);
+        let t = trace(vec![ProbeRecord {
+            stamp,
+            arrival: None,
+        }]);
+        let a = extract(&t);
+        assert!(a.pairs.is_empty());
+        assert_eq!(a.max_queuing_delay_estimate(Dur::ZERO), None);
+    }
+
+    #[test]
+    fn incomplete_pair_at_trace_edge_is_not_a_loss_pair() {
+        // Only one slot of pair 7 appears (trace truncation): must not be
+        // classified as a loss pair even though its sibling is absent.
+        let t = trace(vec![rec(0, 7, 0, Some(25.0))]);
+        let a = extract(&t);
+        assert!(a.pairs.is_empty());
+        assert_eq!(a.both_delivered, 0);
+        assert_eq!(a.both_lost, 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for loss-pair extraction.
+
+use dcl_losspair::extract;
+use dcl_netsim::packet::ProbeStamp;
+use dcl_netsim::sim::ProbeRecord;
+use dcl_netsim::time::{Dur, Time};
+use dcl_netsim::trace::ProbeTrace;
+use proptest::prelude::*;
+
+/// Generate a pair-mode trace: per pair, each slot is delivered with some
+/// probability; delays in 20..500 ms.
+fn pair_trace() -> impl Strategy<Value = (ProbeTrace, Vec<(bool, bool)>)> {
+    prop::collection::vec((any::<bool>(), any::<bool>(), 20.0f64..500.0, 20.0f64..500.0), 0..60)
+        .prop_map(|pairs| {
+            let mut records = Vec::new();
+            let mut truth = Vec::new();
+            for (i, &(d0, d1, owd0, owd1)) in pairs.iter().enumerate() {
+                for (slot, delivered, owd) in [(0u8, d0, owd0), (1u8, d1, owd1)] {
+                    let seq = (i * 2 + slot as usize) as u64;
+                    let sent = Time::from_secs(i as f64 * 0.04);
+                    let mut stamp = ProbeStamp::new(seq, Some((i as u64, slot)), sent);
+                    let arrival = if delivered {
+                        Some(sent + Dur::from_millis(owd))
+                    } else {
+                        stamp.loss_hop = Some(1);
+                        None
+                    };
+                    records.push(ProbeRecord { stamp, arrival });
+                }
+                truth.push((d0, d1));
+            }
+            (
+                ProbeTrace {
+                    records,
+                    base_delay: Dur::from_millis(20.0),
+                    interval: Dur::from_millis(40.0),
+                },
+                truth,
+            )
+        })
+}
+
+proptest! {
+    #[test]
+    fn extraction_partitions_complete_pairs((trace, truth) in pair_trace()) {
+        let a = extract(&trace);
+        let expected_pairs = truth.iter().filter(|&&(x, y)| x != y).count();
+        let expected_both = truth.iter().filter(|&&(x, y)| x && y).count();
+        let expected_lost = truth.iter().filter(|&&(x, y)| !x && !y).count();
+        prop_assert_eq!(a.pairs.len(), expected_pairs);
+        prop_assert_eq!(a.both_delivered, expected_both);
+        prop_assert_eq!(a.both_lost, expected_lost);
+    }
+
+    #[test]
+    fn lost_slot_is_the_one_without_arrival((trace, truth) in pair_trace()) {
+        let a = extract(&trace);
+        for p in &a.pairs {
+            let (d0, d1) = truth[p.pair as usize];
+            match p.lost_slot {
+                0 => prop_assert!(!d0 && d1),
+                1 => prop_assert!(d0 && !d1),
+                _ => prop_assert!(false, "slot out of range"),
+            }
+        }
+    }
+
+    #[test]
+    fn samples_and_estimate_are_consistent((trace, _truth) in pair_trace()) {
+        let a = extract(&trace);
+        let floor = Dur::from_millis(20.0);
+        let samples = a.virtual_queuing_samples(floor);
+        prop_assert_eq!(samples.len(), a.pairs.len());
+        match a.max_queuing_delay_estimate(floor) {
+            Some(est) => {
+                let mut sorted = samples.clone();
+                sorted.sort_unstable();
+                prop_assert!(sorted.contains(&est), "median must be a sample");
+                prop_assert!(est >= sorted[0] && est <= *sorted.last().unwrap());
+            }
+            None => prop_assert!(samples.is_empty()),
+        }
+    }
+}

@@ -1,0 +1,477 @@
+//! The MMHD parameterisation and inference queries.
+
+// Index-based loops are deliberate in the numeric kernels below: the
+// indices couple several arrays at once and mirror the papers' notation.
+#![allow(clippy::needless_range_loop)]
+
+use dcl_probnum::obs::Obs;
+use dcl_probnum::{stochastic, ForwardBackward, Matrix, Pmf};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A Markov model with a hidden dimension.
+///
+/// The chain runs on the product state space `x = (h, d)` with `h ∈ 0..N`
+/// hidden and `d ∈ 0..M` the (0-based) delay symbol. States are flattened
+/// as `x = h * M + d`. Parameters:
+///
+/// * `pi` — initial state distribution (`N*M`);
+/// * `p`  — full transition matrix over the product space
+///   (`N*M x N*M`, row stochastic);
+/// * `c`  — loss probabilities, stored per *state* (`N*M`). In the paper's
+///   formulation the loss probability depends on the delay symbol only
+///   (`c_m = P(loss | d = m)`); that is the *tied* mode, in which the EM
+///   M-step pools the per-state statistics by symbol so all hidden
+///   components of a symbol share one value. The untied (per-state) mode is
+///   a strict generalisation this crate adds: it lets a "congested" hidden
+///   component of a symbol be lossy while a quiet component of the same
+///   symbol is not, which markedly improves loss attribution when a delay
+///   bin mixes full-queue and draining-queue visits (see DESIGN.md).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mmhd {
+    pub(crate) pi: Vec<f64>,
+    pub(crate) p: Matrix,
+    pub(crate) c: Vec<f64>,
+    pub(crate) num_hidden: usize,
+    pub(crate) tied_loss: bool,
+}
+
+impl Mmhd {
+    /// Assemble a model with the paper's *tied* (per-symbol) loss
+    /// probabilities: `c` has `M` entries, replicated across hidden
+    /// components. Validates shapes and stochasticity.
+    pub fn from_parts(pi: Vec<f64>, p: Matrix, c: Vec<f64>, num_hidden: usize) -> Self {
+        let m = c.len();
+        let mut per_state = Vec::with_capacity(num_hidden * m);
+        for _ in 0..num_hidden {
+            per_state.extend_from_slice(&c);
+        }
+        let mut model = Mmhd::from_parts_per_state(pi, p, per_state, num_hidden);
+        model.tied_loss = true;
+        model
+    }
+
+    /// Assemble a model with untied (per-state) loss probabilities:
+    /// `c` has `N*M` entries, indexed like the states.
+    pub fn from_parts_per_state(
+        pi: Vec<f64>,
+        p: Matrix,
+        c: Vec<f64>,
+        num_hidden: usize,
+    ) -> Self {
+        let s = c.len();
+        assert!(num_hidden > 0 && s >= num_hidden, "need N >= 1 and M >= 1");
+        assert_eq!(s % num_hidden, 0, "c must have N*M entries");
+        assert_eq!(pi.len(), s, "pi must have N*M entries");
+        assert_eq!(p.rows(), s);
+        assert_eq!(p.cols(), s);
+        assert!(stochastic::is_distribution(&pi), "pi must be stochastic");
+        assert!(p.is_row_stochastic(), "P must be row stochastic");
+        assert!(
+            c.iter().all(|&x| (0.0..=1.0).contains(&x)),
+            "loss probabilities must be in [0, 1]"
+        );
+        Mmhd {
+            pi,
+            p,
+            c,
+            num_hidden,
+            tied_loss: false,
+        }
+    }
+
+    /// Random model for EM initialisation. Following the paper: the
+    /// transition matrix entries are random (strictly positive), the initial
+    /// distribution and the loss probabilities start uniform.
+    pub fn random<R: Rng + ?Sized>(num_hidden: usize, num_symbols: usize, rng: &mut R) -> Self {
+        let s = num_hidden * num_symbols;
+        let pi = stochastic::uniform(s);
+        let p = Matrix::random_stochastic(rng, s, s);
+        let c = vec![0.1; s];
+        Mmhd {
+            pi,
+            p,
+            c,
+            num_hidden,
+            tied_loss: true,
+        }
+    }
+
+    /// Data-informed initialisation: the transition matrix starts from the
+    /// empirical bigram frequencies of the *observed* delay symbols
+    /// (lightly smoothed, jittered across the hidden components), the
+    /// initial distribution from the empirical symbol frequencies, and the
+    /// loss probabilities from the overall loss fraction.
+    ///
+    /// Rationale: with fully random initialisation, EM frequently converges
+    /// to a degenerate optimum that parks the loss mass on *sparsely
+    /// observed* symbols — explaining losses there costs almost no emission
+    /// probability because such symbols have few delivered observations to
+    /// contradict it. Starting from the empirical delay dynamics puts the
+    /// optimisation in the basin where a loss is attributed to the delay
+    /// symbols its temporal context supports, which is exactly the paper's
+    /// insight. The random initialisation remains available for ablation.
+    pub fn empirical_init<R: Rng + ?Sized>(
+        obs: &[Obs],
+        num_hidden: usize,
+        num_symbols: usize,
+        rng: &mut R,
+    ) -> Self {
+        let m = num_symbols;
+        let s = num_hidden * m;
+        // Smoothed bigram counts over consecutive *observed* symbols.
+        let mut bigram = Matrix::filled(m, m, 0.02);
+        let mut freq = vec![0.05; m];
+        let mut losses = 0usize;
+        for w in obs.windows(2) {
+            if let (Obs::Sym(a), Obs::Sym(b)) = (w[0], w[1]) {
+                let (a, b) = (a as usize - 1, b as usize - 1);
+                bigram.set(a, b, bigram.get(a, b) + 1.0);
+            }
+        }
+        for o in obs {
+            match o {
+                Obs::Sym(sym) => freq[*sym as usize - 1] += 1.0,
+                Obs::Loss => losses += 1,
+            }
+        }
+        bigram.normalize_rows();
+        stochastic::normalize(&mut freq);
+
+        // Product-space transition: bigram on the symbol dimension, a
+        // jittered random mix on the hidden dimension.
+        let mut p = Matrix::zeros(s, s);
+        for h in 0..num_hidden {
+            for d in 0..m {
+                let row_idx = h * m + d;
+                let hidden_mix = stochastic::random_distribution(rng, num_hidden);
+                let row = p.row_mut(row_idx);
+                for (h2, &mix) in hidden_mix.iter().enumerate() {
+                    for d2 in 0..m {
+                        let jitter = 0.5 + rng.gen_range(0.0..1.0);
+                        row[h2 * m + d2] = bigram.get(d, d2) * mix * jitter;
+                    }
+                }
+                stochastic::normalize(row);
+            }
+        }
+        let mut pi = vec![0.0; s];
+        for h in 0..num_hidden {
+            for d in 0..m {
+                pi[h * m + d] = freq[d] / num_hidden as f64;
+            }
+        }
+        let loss_frac = if obs.is_empty() {
+            0.05
+        } else {
+            (losses as f64 / obs.len() as f64).clamp(0.01, 0.5)
+        };
+        let c = vec![loss_frac; s];
+        Mmhd {
+            pi,
+            p,
+            c,
+            num_hidden,
+            tied_loss: true,
+        }
+    }
+
+    /// Number of hidden components `N`.
+    pub fn num_hidden(&self) -> usize {
+        self.num_hidden
+    }
+
+    /// Number of delay symbols `M`.
+    pub fn num_symbols(&self) -> usize {
+        self.c.len() / self.num_hidden
+    }
+
+    /// Number of product states `N*M`.
+    pub fn num_states(&self) -> usize {
+        self.pi.len()
+    }
+
+    /// Flatten `(h, d)` (0-based) to a state index.
+    #[inline]
+    pub fn state_index(&self, h: usize, d: usize) -> usize {
+        debug_assert!(h < self.num_hidden && d < self.num_symbols());
+        h * self.num_symbols() + d
+    }
+
+    /// The delay symbol (0-based) of state `x`.
+    #[inline]
+    pub fn symbol_of(&self, x: usize) -> usize {
+        x % self.num_symbols()
+    }
+
+    /// Initial distribution over product states.
+    pub fn initial(&self) -> &[f64] {
+        &self.pi
+    }
+
+    /// Transition matrix over product states.
+    pub fn transition(&self) -> &Matrix {
+        &self.p
+    }
+
+    /// Loss probabilities, one per product state (tied models carry the
+    /// same value for every hidden component of a symbol).
+    pub fn loss_probs(&self) -> &[f64] {
+        &self.c
+    }
+
+    /// Is the loss probability tied per symbol (the paper's formulation)?
+    pub fn tied_loss(&self) -> bool {
+        self.tied_loss
+    }
+
+    /// Set whether the M-step ties loss probabilities per symbol.
+    pub fn set_tied_loss(&mut self, tied: bool) {
+        self.tied_loss = tied;
+    }
+
+    /// Emission likelihood of observation `o` in product state `x`:
+    /// `1{d = m} (1 - c_x)` for an observed symbol `m`, `c_x` for a loss.
+    pub fn emission_likelihood(&self, x: usize, o: Obs) -> f64 {
+        let d = self.symbol_of(x);
+        match o {
+            Obs::Sym(s) => {
+                if d == s as usize - 1 {
+                    1.0 - self.c[x]
+                } else {
+                    0.0
+                }
+            }
+            Obs::Loss => self.c[x],
+        }
+    }
+
+    /// The `T x (N*M)` emission-likelihood table for a sequence.
+    pub(crate) fn emission_table(&self, obs: &[Obs]) -> Matrix {
+        let s = self.num_states();
+        let mut e = Matrix::zeros(obs.len(), s);
+        for (t, &o) in obs.iter().enumerate() {
+            for x in 0..s {
+                e.set(t, x, self.emission_likelihood(x, o));
+            }
+        }
+        e
+    }
+
+    /// Run the scaled forward–backward recursion.
+    pub(crate) fn forward_backward(&self, obs: &[Obs]) -> ForwardBackward {
+        let e = self.emission_table(obs);
+        ForwardBackward::run(&self.pi, &self.p, &e)
+    }
+
+    /// Log-likelihood of `obs` under this model.
+    pub fn log_likelihood(&self, obs: &[Obs]) -> f64 {
+        assert!(!obs.is_empty(), "empty observation sequence");
+        self.forward_backward(obs).log_likelihood
+    }
+
+    /// The virtual queuing delay distribution `P(delay symbol | loss)` —
+    /// the paper's Eq. (5): the smoothed posterior symbol mass of the loss
+    /// observations, normalised by the number of losses.
+    ///
+    /// Returns `None` when the sequence contains no losses.
+    pub fn loss_delay_pmf(&self, obs: &[Obs]) -> Option<Pmf> {
+        if !obs.iter().any(|o| o.is_loss()) {
+            return None;
+        }
+        let fb = self.forward_backward(obs);
+        let m = self.num_symbols();
+        let mut mass = vec![0.0; m];
+        for (t, &o) in obs.iter().enumerate() {
+            if !o.is_loss() {
+                continue;
+            }
+            let gamma = fb.gamma(t);
+            for (x, &g) in gamma.iter().enumerate() {
+                mass[self.symbol_of(x)] += g;
+            }
+        }
+        Some(Pmf::from_mass(mass))
+    }
+
+
+    /// Viterbi decoding: the most probable product-state path for `obs`,
+    /// in log space. Returns one state index per observation plus the
+    /// path's log probability. Useful for segmenting a trace into
+    /// congestion regimes (each state carries its delay symbol via
+    /// [`Mmhd::symbol_of`]) and for reading off the most likely delay
+    /// symbol of each *lost* probe.
+    pub fn viterbi(&self, obs: &[Obs]) -> (Vec<usize>, f64) {
+        assert!(!obs.is_empty(), "empty observation sequence");
+        let s = self.num_states();
+        let t_len = obs.len();
+        let ln = |x: f64| if x > 0.0 { x.ln() } else { f64::NEG_INFINITY };
+        let mut delta: Vec<f64> = (0..s)
+            .map(|x| ln(self.pi[x]) + ln(self.emission_likelihood(x, obs[0])))
+            .collect();
+        let mut back = vec![vec![0usize; s]; t_len];
+        for t in 1..t_len {
+            let mut next = vec![f64::NEG_INFINITY; s];
+            for x2 in 0..s {
+                let e = ln(self.emission_likelihood(x2, obs[t]));
+                if e == f64::NEG_INFINITY {
+                    continue;
+                }
+                let mut best = f64::NEG_INFINITY;
+                let mut arg = 0;
+                for x in 0..s {
+                    let v = delta[x] + ln(self.p.get(x, x2));
+                    if v > best {
+                        best = v;
+                        arg = x;
+                    }
+                }
+                next[x2] = best + e;
+                back[t][x2] = arg;
+            }
+            delta = next;
+        }
+        let (mut cur, mut best) = (0usize, f64::NEG_INFINITY);
+        for (x, &v) in delta.iter().enumerate() {
+            if v > best {
+                best = v;
+                cur = x;
+            }
+        }
+        let mut path = vec![0usize; t_len];
+        path[t_len - 1] = cur;
+        for t in (1..t_len).rev() {
+            cur = back[t][cur];
+            path[t - 1] = cur;
+        }
+        (path, best)
+    }
+
+    /// Sample an observation sequence of length `len`.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, len: usize) -> Vec<Obs> {
+        let mut out = Vec::with_capacity(len);
+        if len == 0 {
+            return out;
+        }
+        let mut state = stochastic::sample_index(rng, &self.pi);
+        for t in 0..len {
+            if t > 0 {
+                state = stochastic::sample_index(rng, self.p.row(state));
+            }
+            let d = self.symbol_of(state);
+            let lost = rng.gen_bool(self.c[state].clamp(0.0, 1.0));
+            out.push(if lost {
+                Obs::Loss
+            } else {
+                Obs::Sym((d + 1) as u16)
+            });
+        }
+        out
+    }
+
+    /// Maximum absolute parameter difference (EM convergence metric).
+    pub fn max_param_diff(&self, other: &Mmhd) -> f64 {
+        let mut d = stochastic::max_abs_diff(&self.pi, &other.pi);
+        d = d.max(self.p.max_abs_diff(&other.p));
+        d.max(stochastic::max_abs_diff(&self.c, &other.c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> Mmhd {
+        // N=2, M=2: 4 product states.
+        let p = Matrix::uniform_stochastic(4, 4);
+        Mmhd::from_parts(vec![0.25; 4], p, vec![0.1, 0.4], 2)
+    }
+
+    #[test]
+    fn indexing_round_trips() {
+        let m = tiny();
+        assert_eq!(m.num_states(), 4);
+        for h in 0..2 {
+            for d in 0..2 {
+                let x = m.state_index(h, d);
+                assert_eq!(m.symbol_of(x), d);
+            }
+        }
+    }
+
+    #[test]
+    fn emission_likelihood_definitions() {
+        let m = tiny();
+        let x = m.state_index(1, 1); // symbol 2
+        assert!((m.emission_likelihood(x, Obs::Sym(2)) - 0.6).abs() < 1e-12);
+        assert_eq!(m.emission_likelihood(x, Obs::Sym(1)), 0.0);
+        assert!((m.emission_likelihood(x, Obs::Loss) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generate_produces_valid_alphabet() {
+        let m = tiny();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let obs = m.generate(&mut rng, 10_000);
+        assert!(dcl_probnum::obs::validate_sequence(&obs, 2).is_ok());
+        let losses = obs.iter().filter(|o| o.is_loss()).count();
+        // Expected loss fraction ~ (0.1 + 0.4) / 2 = 0.25.
+        let frac = losses as f64 / obs.len() as f64;
+        assert!((frac - 0.25).abs() < 0.03, "loss fraction {frac}");
+    }
+
+    #[test]
+    fn loss_delay_pmf_weights_by_c() {
+        let m = tiny();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let obs = m.generate(&mut rng, 20_000);
+        let pmf = m.loss_delay_pmf(&obs).unwrap();
+        // Symbol 2 is four times as lossy and equally likely: ~0.8 mass.
+        assert!((pmf.prob(2) - 0.8).abs() < 0.05, "{pmf:?}");
+    }
+
+    #[test]
+    fn viterbi_tracks_obvious_paths() {
+        // Near-deterministic 2-symbol chain with N=1: the decoded path must
+        // reproduce the observed symbols, and a loss between two 2s must
+        // decode to symbol 2 (state 1).
+        let p = Matrix::from_vec(2, 2, vec![0.95, 0.05, 0.05, 0.95]);
+        let m = Mmhd::from_parts(vec![0.9, 0.1], p, vec![0.01, 0.2], 1);
+        let obs = vec![
+            Obs::Sym(1),
+            Obs::Sym(1),
+            Obs::Sym(2),
+            Obs::Loss,
+            Obs::Sym(2),
+            Obs::Sym(1),
+        ];
+        let (path, ll) = m.viterbi(&obs);
+        assert!(ll.is_finite());
+        assert_eq!(path, vec![0, 0, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn viterbi_path_probability_is_at_most_sequence_likelihood() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let m = Mmhd::random(2, 3, &mut rng);
+        let obs = m.generate(&mut rng, 50);
+        let (_, ll_path) = m.viterbi(&obs);
+        let ll_seq = m.log_likelihood(&obs);
+        assert!(ll_path <= ll_seq + 1e-9, "{ll_path} > {ll_seq}");
+    }
+
+    #[test]
+    fn loss_delay_pmf_none_without_losses() {
+        let m = tiny();
+        assert!(m.loss_delay_pmf(&[Obs::Sym(1)]).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_parts_rejects_wrong_pi_length() {
+        let p = Matrix::uniform_stochastic(4, 4);
+        let _ = Mmhd::from_parts(vec![0.5, 0.5], p, vec![0.1, 0.1], 2);
+    }
+}

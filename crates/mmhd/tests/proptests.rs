@@ -1,0 +1,101 @@
+//! Property-based tests for the MMHD model and its EM algorithm.
+
+use dcl_mmhd::{em_step, Mmhd};
+use dcl_probnum::obs::{validate_sequence, Obs};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn random_model() -> impl Strategy<Value = (Mmhd, u64)> {
+    (1usize..3, 2usize..5, any::<u64>()).prop_map(|(n, m, seed)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (Mmhd::random(n, m, &mut rng), seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_sequences_are_valid((model, seed) in random_model(), len in 1usize..400) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
+        let obs = model.generate(&mut rng, len);
+        prop_assert_eq!(obs.len(), len);
+        prop_assert!(validate_sequence(&obs, model.num_symbols()).is_ok());
+    }
+
+    #[test]
+    fn log_likelihood_is_finite_on_own_samples((model, seed) in random_model()) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x1234);
+        let obs = model.generate(&mut rng, 200);
+        let ll = model.log_likelihood(&obs);
+        prop_assert!(ll.is_finite());
+        prop_assert!(ll < 1e-9, "likelihood of a nontrivial sequence is < 1");
+    }
+
+    #[test]
+    fn em_step_never_decreases_likelihood((model, seed) in random_model()) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
+        let obs = model.generate(&mut rng, 300);
+        let mut rng2 = SmallRng::seed_from_u64(seed ^ 0x99);
+        let mut cur = Mmhd::random(model.num_hidden(), model.num_symbols(), &mut rng2);
+        let mut prev = f64::NEG_INFINITY;
+        for _ in 0..6 {
+            let (next, ll) = em_step(&cur, &obs);
+            prop_assert!(ll >= prev - 1e-6, "EM decreased likelihood: {prev} -> {ll}");
+            prev = ll;
+            cur = next;
+        }
+    }
+
+    #[test]
+    fn loss_delay_pmf_is_distribution_when_losses_exist((model, seed) in random_model()) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x55);
+        let obs = model.generate(&mut rng, 400);
+        match model.loss_delay_pmf(&obs) {
+            Some(pmf) => {
+                let sum: f64 = pmf.mass().iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-9);
+                prop_assert!(obs.iter().any(|o| o.is_loss()));
+            }
+            None => prop_assert!(obs.iter().all(|o| !o.is_loss())),
+        }
+    }
+
+    #[test]
+    fn em_step_preserves_stochasticity((model, seed) in random_model()) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x31);
+        let mut obs = model.generate(&mut rng, 150);
+        // Ensure at least one loss and one observation for a hard case.
+        obs[0] = Obs::Sym(1);
+        obs[1] = Obs::Loss;
+        let (next, _) = em_step(&model, &obs);
+        prop_assert!(next.transition().is_row_stochastic());
+        let pi_sum: f64 = next.initial().iter().sum();
+        prop_assert!((pi_sum - 1.0).abs() < 1e-9);
+        prop_assert!(next.loss_probs().iter().all(|&c| (0.0..=1.0).contains(&c)));
+    }
+
+    #[test]
+    fn empirical_init_produces_a_valid_model(
+        (model, seed) in random_model(),
+        tie in any::<bool>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x2020);
+        let obs = model.generate(&mut rng, 250);
+        let mut init = Mmhd::empirical_init(
+            &obs,
+            model.num_hidden(),
+            model.num_symbols(),
+            &mut rng,
+        );
+        init.set_tied_loss(tie);
+        prop_assert!(init.transition().is_row_stochastic());
+        let pi_sum: f64 = init.initial().iter().sum();
+        prop_assert!((pi_sum - 1.0).abs() < 1e-9);
+        // One EM step from the informed start must stay valid too.
+        let (next, ll) = em_step(&init, &obs);
+        prop_assert!(ll.is_finite());
+        prop_assert!(next.transition().is_row_stochastic());
+    }
+}

@@ -1,0 +1,149 @@
+//! The simulator's event queue.
+//!
+//! A binary heap keyed on `(time, sequence)`: the sequence number breaks ties
+//! in insertion order, which makes runs exactly reproducible regardless of
+//! how the heap reorders equal-time events internally.
+
+use crate::packet::{AgentId, LinkId, Packet};
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub enum EventKind {
+    /// The link finished serialising its in-service packet.
+    TxComplete(LinkId),
+    /// A packet arrives at the queue of the link at `packet.hop` (or, at the
+    /// end of its route, is delivered to `packet.dst`).
+    HopArrival(Packet),
+    /// The ghost continuation of a dropped probe arrives at hop
+    /// `packet.hop`; it samples the queue without occupying it.
+    GhostArrival(Packet),
+    /// An agent-scheduled timer; `kind` is agent-private.
+    Timer {
+        /// Agent to wake.
+        agent: AgentId,
+        /// Agent-private discriminator.
+        kind: u64,
+    },
+    /// Periodic housekeeping for adaptive-RED `max_p` adaptation.
+    RedAdapt(LinkId),
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic earliest-first event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `kind` to fire at `at`.
+    pub fn schedule(&mut self, at: Time, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, kind });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, EventKind)> {
+        self.heap.pop().map(|s| (s.at, s.kind))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(2.0), EventKind::TxComplete(LinkId(0)));
+        q.schedule(Time::from_secs(1.0), EventKind::TxComplete(LinkId(1)));
+        q.schedule(Time::from_secs(3.0), EventKind::TxComplete(LinkId(2)));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_nanos())
+            .collect();
+        assert_eq!(
+            order,
+            vec![1_000_000_000, 2_000_000_000, 3_000_000_000]
+        );
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Time::from_secs(1.0);
+        for i in 0..5 {
+            q.schedule(t, EventKind::Timer { agent: AgentId(i), kind: 0 });
+        }
+        let mut agents = Vec::new();
+        while let Some((_, EventKind::Timer { agent, .. })) = q.pop() {
+            agents.push(agent.0);
+        }
+        assert_eq!(agents, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Time::from_secs(5.0), EventKind::RedAdapt(LinkId(0)));
+        assert_eq!(q.peek_time(), Some(Time::from_secs(5.0)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.peek_time().is_none());
+    }
+}

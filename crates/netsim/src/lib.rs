@@ -1,0 +1,59 @@
+//! A deterministic discrete-event packet network simulator — the ns-2
+//! substitute for the dominant-congested-link reproduction.
+//!
+//! The simulator models a network as unidirectional [`link::Link`]s (FIFO
+//! queue + transmitter + propagation delay) traversed by routed packets, and
+//! [`sim::Agent`]s that produce and consume traffic:
+//!
+//! * [`traffic::TcpSender`]/[`traffic::TcpSink`] — TCP Reno (FTP bulk
+//!   transfers and HTTP-like sessions);
+//! * [`traffic::OnOffUdp`] — exponential on–off CBR cross traffic;
+//! * [`probe::ProbeSender`] — the paper's periodic UDP prober (single
+//!   probes or back-to-back loss pairs).
+//!
+//! Queues are droptail or adaptive RED ([`queue`]). A dropped probe is
+//! continued as a *ghost* that records the backlog of every remaining queue
+//! without occupying it — realising the paper's virtual probes and giving
+//! ground-truth virtual queuing delays for every lost probe
+//! ([`trace::ProbeTrace`]).
+//!
+//! [`scenarios::PathScenario`] assembles the paper's Fig. 4 topology (router
+//! chain, per-hop cross traffic, prober) from a compact specification;
+//! [`topology::Topology`] builds arbitrary meshes with shortest-path
+//! routing for experiments beyond the paper's.
+//!
+//! # Example
+//!
+//! ```
+//! use dcl_netsim::scenarios::{HopSpec, PathScenario, PathScenarioConfig, TrafficMix};
+//! use dcl_netsim::time::Dur;
+//!
+//! // One congested 1 Mb/s hop between two clean 10 Mb/s hops.
+//! let hops = vec![
+//!     HopSpec::droptail(1_000_000, 20_000, TrafficMix { ftp_flows: 2, ..TrafficMix::none() }),
+//!     HopSpec::droptail(10_000_000, 80_000, TrafficMix::none()),
+//! ];
+//! let mut sc = PathScenario::build(&PathScenarioConfig::new(hops, 42));
+//! let trace = sc.run(Dur::from_secs(5.0), Dur::from_secs(20.0));
+//! assert!(trace.len() > 900);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod link;
+pub mod packet;
+pub mod probe;
+pub mod queue;
+pub mod scenarios;
+pub mod sim;
+pub mod time;
+pub mod topology;
+pub mod trace;
+pub mod traffic;
+
+pub use packet::{AgentId, LinkId, Packet, Payload, ProbeStamp, Route};
+pub use sim::{Agent, Ctx, ProbeRecord, Simulator};
+pub use time::{Dur, Time};
+pub use trace::ProbeTrace;

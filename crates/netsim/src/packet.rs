@@ -1,0 +1,145 @@
+//! Packets and the measurement record that probe packets carry.
+
+use crate::time::{Dur, Time};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Identifier of an agent (traffic source/sink, prober, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AgentId(pub usize);
+
+/// Identifier of a unidirectional link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub usize);
+
+/// A route: the ordered list of links a packet traverses.
+pub type Route = Arc<[LinkId]>;
+
+/// What a packet carries.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// A measurement probe; carries its ground-truth record.
+    Probe(ProbeStamp),
+    /// TCP data segment: `(flow-local sequence number)`.
+    TcpData(u64),
+    /// TCP cumulative acknowledgement: `(next expected sequence number)`.
+    TcpAck(u64),
+    /// Plain UDP payload (cross traffic).
+    Udp,
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Globally unique packet id (assigned by the simulator).
+    pub id: u64,
+    /// Wire size in bytes (headers included; the simulator does not model
+    /// header overhead separately).
+    pub size: u32,
+    /// Originating agent.
+    pub src: AgentId,
+    /// Destination agent, which receives the packet on delivery.
+    pub dst: AgentId,
+    /// Links to traverse, in order.
+    pub route: Route,
+    /// Index into `route` of the next/current link.
+    pub hop: usize,
+    /// Application payload.
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// The link the packet is currently at / heading to.
+    pub fn current_link(&self) -> LinkId {
+        self.route[self.hop]
+    }
+
+    /// Is the current hop the final link of the route?
+    pub fn at_last_hop(&self) -> bool {
+        self.hop + 1 == self.route.len()
+    }
+}
+
+/// Ground-truth measurement record carried by a probe packet.
+///
+/// The simulator fills in the per-link waiting (queuing) delays as the probe
+/// traverses the path; if the probe is dropped the record is completed by the
+/// *ghost continuation* (the paper's virtual probe), so every probe — lost or
+/// not — ends with one waiting delay per link.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbeStamp {
+    /// Probe sequence number (0-based, in sending order).
+    pub seq: u64,
+    /// For paired probes (loss-pair mode): pair index and slot (0 or 1).
+    pub pair: Option<(u64, u8)>,
+    /// Time the probe left the source.
+    pub sent_at: Time,
+    /// Per-link waiting delay (time from arrival at the link queue to start
+    /// of service), in route order. For the loss hop this is the delay the
+    /// virtual probe records (the time to drain the queue it found).
+    pub link_waits: Vec<Dur>,
+    /// Hop index (into the route) where the probe was dropped, if any.
+    pub loss_hop: Option<usize>,
+}
+
+impl ProbeStamp {
+    /// Fresh stamp for a probe sent at `sent_at`.
+    pub fn new(seq: u64, pair: Option<(u64, u8)>, sent_at: Time) -> Self {
+        ProbeStamp {
+            seq,
+            pair,
+            sent_at,
+            link_waits: Vec::new(),
+            loss_hop: None,
+        }
+    }
+
+    /// Was the (real) probe lost?
+    pub fn lost(&self) -> bool {
+        self.loss_hop.is_some()
+    }
+
+    /// End-end *virtual queuing delay*: the sum of per-link waiting delays,
+    /// which for a lost probe includes the drain time recorded at the loss
+    /// hop and the ghost waits downstream (paper Section V-A).
+    pub fn virtual_queuing_delay(&self) -> Dur {
+        self.link_waits
+            .iter()
+            .fold(Dur::ZERO, |acc, &d| acc + d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(n: usize) -> Route {
+        (0..n).map(LinkId).collect::<Vec<_>>().into()
+    }
+
+    #[test]
+    fn route_navigation() {
+        let p = Packet {
+            id: 1,
+            size: 10,
+            src: AgentId(0),
+            dst: AgentId(1),
+            route: route(3),
+            hop: 2,
+            payload: Payload::Udp,
+        };
+        assert_eq!(p.current_link(), LinkId(2));
+        assert!(p.at_last_hop());
+    }
+
+    #[test]
+    fn probe_stamp_sums_waits() {
+        let mut s = ProbeStamp::new(7, None, Time::from_secs(1.0));
+        s.link_waits.push(Dur::from_millis(3.0));
+        s.link_waits.push(Dur::from_millis(4.5));
+        assert!(!s.lost());
+        assert_eq!(s.virtual_queuing_delay(), Dur::from_millis(7.5));
+        s.loss_hop = Some(1);
+        assert!(s.lost());
+    }
+}

@@ -1,0 +1,331 @@
+//! Queue disciplines: buffer limits, droptail, and adaptive RED.
+//!
+//! The paper assumes droptail queues (losses mean "the probe saw a full
+//! queue"); Section VI-A5 then stress-tests the method against routers
+//! running *adaptive RED* [Floyd, Gummadi, Shenker 2001], which this module
+//! implements with gentle mode and automatic `max_p` adaptation.
+
+use crate::time::{Dur, Time};
+use serde::{Deserialize, Serialize};
+
+/// How a link bounds its queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BufferLimit {
+    /// Byte-based buffer (the paper specifies buffers in kB).
+    Bytes(u64),
+    /// Packet-count buffer (used for the RED experiments, whose thresholds
+    /// are in packets, matching ns defaults).
+    Packets(usize),
+}
+
+impl BufferLimit {
+    /// Does a queue currently holding `q_bytes` / `q_packets` have room for
+    /// one more packet of `size` bytes?
+    pub fn fits(&self, q_bytes: u64, q_packets: usize, size: u32) -> bool {
+        match *self {
+            BufferLimit::Bytes(b) => q_bytes + size as u64 <= b,
+            BufferLimit::Packets(n) => q_packets < n,
+        }
+    }
+
+    /// The time to drain a full buffer at `bits_per_sec` — the link's
+    /// maximum queuing delay `Q_k` (Table I of the paper).
+    ///
+    /// For packet-count buffers the conversion uses `ref_packet_bytes` as
+    /// the nominal packet size (the data-packet MTU of the scenario).
+    pub fn max_queuing_delay(&self, bits_per_sec: u64, ref_packet_bytes: u32) -> Dur {
+        let bytes = match *self {
+            BufferLimit::Bytes(b) => b,
+            BufferLimit::Packets(n) => n as u64 * ref_packet_bytes as u64,
+        };
+        Dur::from_secs(bytes as f64 * 8.0 / bits_per_sec as f64)
+    }
+}
+
+/// Active queue management discipline for a link.
+#[derive(Debug, Clone)]
+pub enum Discipline {
+    /// Plain droptail: drop on buffer overflow only.
+    DropTail,
+    /// Adaptive RED (gentle mode).
+    AdaptiveRed(RedState),
+}
+
+/// Configuration of an adaptive RED queue (thresholds in packets).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RedConfig {
+    /// Minimum average-queue threshold (packets).
+    pub min_th: f64,
+    /// Maximum average-queue threshold (packets); the paper uses
+    /// `max_th = 3 * min_th`.
+    pub max_th: f64,
+    /// EWMA weight for the average queue size.
+    pub weight: f64,
+    /// Initial `max_p` (adapted at runtime).
+    pub initial_max_p: f64,
+    /// `max_p` adaptation interval.
+    pub adapt_interval: Dur,
+    /// Nominal time to transmit one packet, used to age the average across
+    /// idle periods.
+    pub mean_pkt_tx: Dur,
+}
+
+impl RedConfig {
+    /// Paper-style configuration: `max_th = 3 * min_th`, gentle mode,
+    /// adaptive `max_p`, ns-like defaults for the remaining knobs.
+    pub fn paper(min_th: f64, mean_pkt_tx: Dur) -> Self {
+        RedConfig {
+            min_th,
+            max_th: 3.0 * min_th,
+            weight: 0.002,
+            initial_max_p: 0.1,
+            adapt_interval: Dur::from_millis(500.0),
+            mean_pkt_tx,
+        }
+    }
+}
+
+/// Verdict of the RED arrival test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedVerdict {
+    /// Enqueue the packet.
+    Accept,
+    /// Probabilistic (early) drop.
+    EarlyDrop,
+    /// Forced drop: average beyond the gentle region.
+    ForcedDrop,
+}
+
+/// Runtime state of an adaptive RED queue.
+#[derive(Debug, Clone)]
+pub struct RedState {
+    cfg: RedConfig,
+    avg: f64,
+    max_p: f64,
+    /// Packets enqueued since the last early drop (−1 right after a drop,
+    /// per the RED pseudocode).
+    count: i64,
+    /// When the queue last went idle (for EWMA ageing).
+    idle_since: Option<Time>,
+    /// Deterministic per-queue PRNG for the drop coin flips (xorshift64*;
+    /// self-contained so the queue layer needs no external RNG plumbing).
+    rng_state: u64,
+}
+
+impl RedState {
+    /// Fresh state; `seed` makes drop decisions reproducible.
+    pub fn new(cfg: RedConfig, seed: u64) -> Self {
+        RedState {
+            cfg,
+            avg: 0.0,
+            max_p: cfg.initial_max_p,
+            count: -1,
+            idle_since: Some(Time::ZERO),
+            rng_state: seed | 1,
+        }
+    }
+
+    /// Current EWMA of the queue length (packets).
+    pub fn avg(&self) -> f64 {
+        self.avg
+    }
+
+    /// Current `max_p`.
+    pub fn max_p(&self) -> f64 {
+        self.max_p
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &RedConfig {
+        &self.cfg
+    }
+
+    fn next_uniform(&mut self) -> f64 {
+        // xorshift64* — plenty for drop coin flips.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        let v = x.wrapping_mul(0x2545F4914F6CDD1D);
+        (v >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Record that the queue just became empty at `now`.
+    pub fn note_idle(&mut self, now: Time) {
+        self.idle_since = Some(now);
+    }
+
+    /// Arrival test: update the average for a queue currently holding
+    /// `q_packets` packets and decide the packet's fate.
+    pub fn on_arrival(&mut self, q_packets: usize, now: Time) -> RedVerdict {
+        // Age the average across an idle period as if `m` small packets had
+        // been transmitted (RED pseudocode).
+        if q_packets == 0 {
+            if let Some(idle) = self.idle_since.take() {
+                let idle_time = now.saturating_since(idle).as_secs();
+                let m = (idle_time / self.cfg.mean_pkt_tx.as_secs().max(1e-9)).floor();
+                self.avg *= (1.0 - self.cfg.weight).powf(m.min(1e6));
+            }
+        }
+        self.idle_since = None;
+        self.avg += self.cfg.weight * (q_packets as f64 - self.avg);
+
+        let RedConfig { min_th, max_th, .. } = self.cfg;
+        if self.avg < min_th {
+            self.count = -1;
+            return RedVerdict::Accept;
+        }
+        // Gentle mode: drop probability rises to 1 at 2 * max_th.
+        let p_b = if self.avg < max_th {
+            self.max_p * (self.avg - min_th) / (max_th - min_th)
+        } else if self.avg < 2.0 * max_th {
+            self.max_p + (1.0 - self.max_p) * (self.avg - max_th) / max_th
+        } else {
+            self.count = 0;
+            return RedVerdict::ForcedDrop;
+        };
+
+        self.count += 1;
+        let denom = 1.0 - self.count as f64 * p_b;
+        let p_a = if denom <= 0.0 { 1.0 } else { (p_b / denom).min(1.0) };
+        if self.next_uniform() < p_a {
+            self.count = 0;
+            RedVerdict::EarlyDrop
+        } else {
+            RedVerdict::Accept
+        }
+    }
+
+    /// Periodic `max_p` adaptation (Floyd's adaptive RED): keep the average
+    /// inside the middle of `[min_th, max_th]` with AIMD on `max_p`.
+    pub fn adapt(&mut self) {
+        let RedConfig { min_th, max_th, .. } = self.cfg;
+        let target_lo = min_th + 0.4 * (max_th - min_th);
+        let target_hi = min_th + 0.6 * (max_th - min_th);
+        if self.avg > target_hi && self.max_p <= 0.5 {
+            // Additive increase.
+            self.max_p += (0.25 * self.max_p).min(0.01);
+        } else if self.avg < target_lo && self.max_p >= 0.01 {
+            // Multiplicative decrease.
+            self.max_p *= 0.9;
+        }
+        self.max_p = self.max_p.clamp(0.0005, 0.5);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RedConfig {
+        RedConfig::paper(5.0, Dur::from_millis(8.0))
+    }
+
+    #[test]
+    fn buffer_limit_fits() {
+        let b = BufferLimit::Bytes(100);
+        assert!(b.fits(90, 3, 10));
+        assert!(!b.fits(91, 3, 10));
+        let p = BufferLimit::Packets(2);
+        assert!(p.fits(0, 1, 1000));
+        assert!(!p.fits(0, 2, 10));
+    }
+
+    #[test]
+    fn max_queuing_delay_matches_paper_numbers() {
+        // 20 kB buffer at 1 Mb/s: 160 ms (Table II's setting).
+        let q = BufferLimit::Bytes(20_000).max_queuing_delay(1_000_000, 1000);
+        assert_eq!(q, Dur::from_millis(160.0));
+        // 25 packets of 1000 B at 1 Mb/s: 200 ms.
+        let q = BufferLimit::Packets(25).max_queuing_delay(1_000_000, 1000);
+        assert_eq!(q, Dur::from_millis(200.0));
+    }
+
+    #[test]
+    fn red_accepts_below_min_threshold() {
+        let mut red = RedState::new(cfg(), 42);
+        for _ in 0..100 {
+            assert_eq!(red.on_arrival(0, Time::ZERO), RedVerdict::Accept);
+        }
+        assert!(red.avg() < 1.0);
+    }
+
+    #[test]
+    fn red_drops_under_sustained_congestion() {
+        let mut red = RedState::new(cfg(), 42);
+        let mut drops = 0;
+        // Sustained queue of 12 packets (between min_th=5 and max_th=15).
+        for i in 0..5000 {
+            let t = Time::from_millis(i as f64);
+            if red.on_arrival(12, t) != RedVerdict::Accept {
+                drops += 1;
+            }
+        }
+        assert!(drops > 0, "RED should early-drop in the marking region");
+        assert!(drops < 5000, "RED must not drop everything");
+    }
+
+    #[test]
+    fn red_forced_drop_beyond_gentle_region() {
+        let mut red = RedState::new(cfg(), 42);
+        // Push the average above 2*max_th = 30.
+        let mut verdict = RedVerdict::Accept;
+        for i in 0..20_000 {
+            let t = Time::from_millis(i as f64);
+            verdict = red.on_arrival(60, t);
+            if verdict == RedVerdict::ForcedDrop {
+                break;
+            }
+        }
+        assert_eq!(verdict, RedVerdict::ForcedDrop);
+    }
+
+    #[test]
+    fn red_average_ages_during_idle() {
+        let mut red = RedState::new(cfg(), 42);
+        for i in 0..3000 {
+            red.on_arrival(12, Time::from_millis(i as f64));
+        }
+        let avg_busy = red.avg();
+        assert!(avg_busy > 5.0);
+        red.note_idle(Time::from_secs(3.0));
+        // Arrival after 30 idle seconds (~3750 packet times at 8 ms): the
+        // EWMA must have decayed by (1-w)^3750 ~ 5e-4.
+        red.on_arrival(0, Time::from_secs(33.0));
+        assert!(red.avg() < 0.5, "avg {} should decay over idle", red.avg());
+    }
+
+    #[test]
+    fn adapt_moves_max_p_towards_target() {
+        let mut red = RedState::new(cfg(), 42);
+        // Force avg high: adaptation should raise max_p.
+        for i in 0..3000 {
+            red.on_arrival(14, Time::from_millis(i as f64));
+        }
+        let before = red.max_p();
+        red.adapt();
+        assert!(red.max_p() > before);
+
+        // Now decay the average to low values: max_p should fall.
+        let mut red = RedState::new(cfg(), 42);
+        for i in 0..3000 {
+            red.on_arrival(1, Time::from_millis(i as f64));
+        }
+        let before = red.max_p();
+        red.adapt();
+        assert!(red.max_p() < before);
+    }
+
+    #[test]
+    fn red_is_deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut red = RedState::new(cfg(), seed);
+            (0..2000)
+                .map(|i| red.on_arrival(12, Time::from_millis(i as f64)) as u8)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

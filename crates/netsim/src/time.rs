@@ -1,0 +1,243 @@
+//! Simulated time.
+//!
+//! All simulator time is integer nanoseconds: [`Time`] is an instant since
+//! simulation start, [`Dur`] a non-negative span. Integer time makes the
+//! simulator exactly deterministic and free of floating-point drift in event
+//! ordering; conversions to seconds happen only at the measurement boundary.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An instant in simulated time (nanoseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(u64);
+
+/// A span of simulated time (nanoseconds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Dur(u64);
+
+impl Time {
+    /// The simulation origin.
+    pub const ZERO: Time = Time(0);
+
+    /// Construct from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Time {
+        Time(ns)
+    }
+
+    /// Construct from seconds (fractional allowed).
+    pub fn from_secs(s: f64) -> Time {
+        assert!(s >= 0.0 && s.is_finite(), "time must be non-negative");
+        Time((s * 1e9).round() as u64)
+    }
+
+    /// Construct from milliseconds (fractional allowed).
+    pub fn from_millis(ms: f64) -> Time {
+        Time::from_secs(ms / 1e3)
+    }
+
+    /// Nanoseconds since the origin.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the origin.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration since an earlier instant. Panics (debug) on negative spans.
+    pub fn since(self, earlier: Time) -> Dur {
+        debug_assert!(self >= earlier, "negative duration: {self:?} - {earlier:?}");
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating duration since `earlier` (zero if `earlier` is later).
+    pub fn saturating_since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Dur {
+    /// The zero duration.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Construct from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Dur {
+        Dur(ns)
+    }
+
+    /// Construct from seconds (fractional allowed).
+    pub fn from_secs(s: f64) -> Dur {
+        assert!(s >= 0.0 && s.is_finite(), "duration must be non-negative");
+        Dur((s * 1e9).round() as u64)
+    }
+
+    /// Construct from milliseconds (fractional allowed).
+    pub fn from_millis(ms: f64) -> Dur {
+        Dur::from_secs(ms / 1e3)
+    }
+
+    /// Construct from microseconds (fractional allowed).
+    pub fn from_micros(us: f64) -> Dur {
+        Dur::from_secs(us / 1e6)
+    }
+
+    /// Nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Is this the zero duration?
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The time needed to serialise `bytes` onto a link of `bits_per_sec`.
+    pub fn transmission(bytes: u32, bits_per_sec: u64) -> Dur {
+        Dur::transmission_u64(bytes as u64, bits_per_sec)
+    }
+
+    /// [`Dur::transmission`] for byte counts beyond `u32` (queue backlogs).
+    pub fn transmission_u64(bytes: u64, bits_per_sec: u64) -> Dur {
+        assert!(bits_per_sec > 0, "link bandwidth must be positive");
+        let bits = bytes as u128 * 8;
+        Dur(((bits * 1_000_000_000) / bits_per_sec as u128) as u64)
+    }
+
+    /// `self - floor`, clamped at zero (observed queuing delays can round
+    /// slightly below the analytic floor).
+    pub fn saturating_sub_floor(self, floor: Dur) -> Dur {
+        Dur(self.0.saturating_sub(floor.0))
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    fn sub(self, rhs: Time) -> Dur {
+        self.since(rhs)
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dur {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, rhs: Dur) -> Dur {
+        debug_assert!(self >= rhs, "negative duration");
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = Time::from_secs(1.5);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert!((t.as_secs() - 1.5).abs() < 1e-12);
+        let d = Dur::from_millis(20.0);
+        assert_eq!(d.as_nanos(), 20_000_000);
+        assert!((d.as_millis() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from_secs(1.0) + Dur::from_secs(0.5);
+        assert_eq!(t, Time::from_secs(1.5));
+        assert_eq!(t - Time::from_secs(1.0), Dur::from_secs(0.5));
+        assert_eq!(Dur::from_secs(1.0) * 3, Dur::from_secs(3.0));
+        assert_eq!(Dur::from_secs(3.0) / 3, Dur::from_secs(1.0));
+    }
+
+    #[test]
+    fn transmission_time_matches_bandwidth() {
+        // 1000 bytes at 1 Mb/s = 8 ms.
+        let d = Dur::transmission(1000, 1_000_000);
+        assert_eq!(d, Dur::from_millis(8.0));
+        // 10-byte probe at 10 Mb/s = 8 microseconds.
+        let d = Dur::transmission(10, 10_000_000);
+        assert_eq!(d, Dur::from_micros(8.0));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = Time::from_secs(1.0);
+        let b = Time::from_secs(2.0);
+        assert_eq!(a.saturating_since(b), Dur::ZERO);
+        assert_eq!(b.saturating_since(a), Dur::from_secs(1.0));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Time::from_secs(0.1) < Time::from_secs(0.2));
+        assert!(Dur::from_millis(1.0) < Dur::from_millis(2.0));
+    }
+}

@@ -1,0 +1,300 @@
+//! General mesh topologies with shortest-path routing.
+//!
+//! The paper's experiments only need a linear router chain
+//! ([`crate::scenarios`]), but a reusable simulator should support
+//! arbitrary meshes: dumbbells, stars, multi-path backbones. A
+//! [`Topology`] names nodes, connects them with (simplex or duplex)
+//! links, and computes static shortest-path routes by propagation delay —
+//! the classic link-state metric — which agents then use verbatim.
+
+use crate::link::LinkConfig;
+use crate::packet::{LinkId, Route};
+use crate::packet::AgentId;
+use crate::sim::{Agent, Simulator};
+use crate::time::Dur;
+use std::collections::BinaryHeap;
+
+/// Identifier of a topology node (router or host attachment point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    link: LinkId,
+    cost: Dur,
+}
+
+/// A network of named nodes and directed links on top of a [`Simulator`].
+pub struct Topology {
+    sim: Simulator,
+    names: Vec<String>,
+    adj: Vec<Vec<Edge>>,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Topology {
+    /// Empty topology.
+    pub fn new() -> Self {
+        Topology {
+            sim: Simulator::new(),
+            names: Vec::new(),
+            adj: Vec::new(),
+        }
+    }
+
+    /// Add a node.
+    pub fn add_node(&mut self, name: &str) -> NodeId {
+        self.names.push(name.to_owned());
+        self.adj.push(Vec::new());
+        NodeId(self.names.len() - 1)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Name of a node.
+    pub fn node_name(&self, n: NodeId) -> &str {
+        &self.names[n.0]
+    }
+
+    /// Add a directed link from `a` to `b`.
+    pub fn add_simplex(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) -> LinkId {
+        assert!(a.0 < self.adj.len() && b.0 < self.adj.len());
+        assert_ne!(a, b, "self-loops are not meaningful");
+        let cost = cfg.prop_delay;
+        let link = self.sim.add_link(cfg);
+        self.adj[a.0].push(Edge { to: b.0, link, cost });
+        link
+    }
+
+    /// Add a pair of directed links between `a` and `b` with the same
+    /// configuration (the name gets `:fwd`/`:rev` suffixes).
+    pub fn add_duplex(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) -> (LinkId, LinkId) {
+        let mut fwd = cfg.clone();
+        fwd.name = format!("{}:fwd", cfg.name);
+        let mut rev = cfg;
+        rev.name = format!("{}:rev", rev.name);
+        (self.add_simplex(a, b, fwd), self.add_simplex(b, a, rev))
+    }
+
+    /// Add an agent to the underlying simulator.
+    pub fn add_agent(&mut self, agent: Box<dyn Agent>) -> AgentId {
+        self.sim.add_agent(agent)
+    }
+
+    /// Shortest route (by summed propagation delay, ties broken towards
+    /// fewer hops) from `a` to `b`, as the link sequence a packet should
+    /// carry. `None` if `b` is unreachable from `a`.
+    pub fn route(&self, a: NodeId, b: NodeId) -> Option<Route> {
+        if a == b {
+            return Some(Vec::new().into());
+        }
+        let n = self.adj.len();
+        let mut dist: Vec<Option<(Dur, usize)>> = vec![None; n]; // (cost, hops)
+        let mut prev: Vec<Option<(usize, LinkId)>> = vec![None; n];
+        // Max-heap on Reverse ordering: store negated comparisons via
+        // std::cmp::Reverse over (cost, hops, node).
+        let mut heap = BinaryHeap::new();
+        dist[a.0] = Some((Dur::ZERO, 0));
+        heap.push(std::cmp::Reverse((Dur::ZERO, 0usize, a.0)));
+        while let Some(std::cmp::Reverse((cost, hops, u))) = heap.pop() {
+            if let Some((best, best_hops)) = dist[u] {
+                if (cost, hops) > (best, best_hops) {
+                    continue;
+                }
+            }
+            if u == b.0 {
+                break;
+            }
+            for e in &self.adj[u] {
+                let next = (cost + e.cost, hops + 1);
+                let better = match dist[e.to] {
+                    None => true,
+                    Some(cur) => next < cur,
+                };
+                if better {
+                    dist[e.to] = Some(next);
+                    prev[e.to] = Some((u, e.link));
+                    heap.push(std::cmp::Reverse((next.0, next.1, e.to)));
+                }
+            }
+        }
+        dist[b.0]?;
+        let mut links = Vec::new();
+        let mut cur = b.0;
+        while cur != a.0 {
+            let (p, link) = prev[cur].expect("reached node has a predecessor");
+            links.push(link);
+            cur = p;
+        }
+        links.reverse();
+        Some(links.into())
+    }
+
+    /// End-end propagation-plus-transmission floor of a route for packets
+    /// of `bytes` (the probe-trace delay floor).
+    pub fn route_base_delay(&self, route: &Route, bytes: u32) -> Dur {
+        route.iter().fold(Dur::ZERO, |acc, &l| {
+            let link = self.sim.network().link(l);
+            acc + link.prop_delay() + link.tx_time(bytes)
+        })
+    }
+
+    /// Immutable access to the simulator.
+    pub fn sim(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Mutable access to the simulator (to run it).
+    pub fn sim_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
+    /// Consume the topology, returning the simulator.
+    pub fn into_sim(self) -> Simulator {
+        self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Payload;
+    use crate::probe::{ProbeConfig, ProbePattern, ProbeSender};
+    use crate::sim::NullAgent;
+    use crate::time::Time;
+    use crate::trace::ProbeTrace;
+
+    fn link(name: &str, prop_ms: f64) -> LinkConfig {
+        LinkConfig::droptail(name, 10_000_000, Dur::from_millis(prop_ms), 100_000)
+    }
+
+    #[test]
+    fn direct_link_beats_slow_detour() {
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        let c = topo.add_node("c");
+        let ab = topo.add_simplex(a, b, link("ab", 10.0));
+        topo.add_simplex(a, c, link("ac", 8.0));
+        topo.add_simplex(c, b, link("cb", 8.0));
+        let r = topo.route(a, b).unwrap();
+        assert_eq!(r.as_ref(), &[ab]);
+    }
+
+    #[test]
+    fn fast_detour_beats_slow_direct_link() {
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        let c = topo.add_node("c");
+        topo.add_simplex(a, b, link("ab", 30.0));
+        let ac = topo.add_simplex(a, c, link("ac", 5.0));
+        let cb = topo.add_simplex(c, b, link("cb", 5.0));
+        let r = topo.route(a, b).unwrap();
+        assert_eq!(r.as_ref(), &[ac, cb]);
+    }
+
+    #[test]
+    fn unreachable_and_trivial_routes() {
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        let c = topo.add_node("isolated");
+        topo.add_simplex(a, b, link("ab", 1.0));
+        assert!(topo.route(a, c).is_none());
+        assert!(topo.route(b, a).is_none(), "links are directed");
+        assert_eq!(topo.route(a, a).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn duplex_gives_both_directions() {
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        let (f, r) = topo.add_duplex(a, b, link("ab", 2.0));
+        assert_eq!(topo.route(a, b).unwrap().as_ref(), &[f]);
+        assert_eq!(topo.route(b, a).unwrap().as_ref(), &[r]);
+    }
+
+    #[test]
+    fn ties_prefer_fewer_hops() {
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        let c = topo.add_node("c");
+        let direct = topo.add_simplex(a, b, link("ab", 10.0));
+        topo.add_simplex(a, c, link("ac", 5.0));
+        topo.add_simplex(c, b, link("cb", 5.0));
+        // Equal cost: the single-link route wins.
+        assert_eq!(topo.route(a, b).unwrap().as_ref(), &[direct]);
+    }
+
+    #[test]
+    fn probing_over_a_routed_mesh_works_end_to_end() {
+        // Diamond: a -> {b, c} -> d with the b-branch faster.
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        let c = topo.add_node("c");
+        let d = topo.add_node("d");
+        topo.add_simplex(a, b, link("ab", 2.0));
+        topo.add_simplex(b, d, link("bd", 2.0));
+        topo.add_simplex(a, c, link("ac", 20.0));
+        topo.add_simplex(c, d, link("cd", 20.0));
+        let route = topo.route(a, d).unwrap();
+        let base = topo.route_base_delay(&route, 10);
+        let sink = topo.add_agent(Box::new(NullAgent));
+        topo.add_agent(Box::new(ProbeSender::new(ProbeConfig {
+            pattern: ProbePattern::Single {
+                interval: Dur::from_millis(20.0),
+            },
+            size: 10,
+            route,
+            dst: sink,
+            start_delay: Dur::ZERO,
+        })));
+        let mut sim = topo.into_sim();
+        sim.run_until(Time::from_secs(2.0));
+        let trace = ProbeTrace::from_sim(&sim, base, Dur::from_millis(20.0));
+        assert!(trace.len() >= 99);
+        assert_eq!(trace.loss_count(), 0);
+        // All probes took the 4 ms branch, not the 40 ms one.
+        assert!(trace.max_owd().unwrap() < Dur::from_millis(10.0));
+        assert_eq!(trace.min_owd().unwrap(), base);
+    }
+
+    #[test]
+    fn routed_traffic_counts_against_the_right_links() {
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        let ab = topo.add_simplex(a, b, link("ab", 1.0));
+        let sink = topo.add_agent(Box::new(NullAgent));
+        let route = topo.route(a, b).unwrap();
+
+        struct Burst {
+            route: Route,
+            dst: AgentId,
+        }
+        impl Agent for Burst {
+            fn start(&mut self, ctx: &mut crate::sim::Ctx) {
+                for _ in 0..10 {
+                    ctx.send(1000, self.dst, self.route.clone(), Payload::Udp);
+                }
+            }
+        }
+        topo.add_agent(Box::new(Burst { route, dst: sink }));
+        let mut sim = topo.into_sim();
+        sim.run_until(Time::from_secs(1.0));
+        assert_eq!(sim.link_stats(ab).tx_packets, 10);
+    }
+}

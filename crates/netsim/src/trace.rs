@@ -1,0 +1,326 @@
+//! Probe traces: the measurement data the identification method consumes.
+//!
+//! A [`ProbeTrace`] is the sequence of per-probe outcomes (one-way delay or
+//! loss) in sending order, together with the path's delay floor. It also
+//! retains the simulator's ground truth (per-link waits, loss hop, virtual
+//! queuing delay) so estimators can be validated against the "ns virtual"
+//! distribution exactly as the paper does.
+
+use crate::sim::{ProbeRecord, Simulator};
+use crate::time::{Dur, Time};
+use serde::{Deserialize, Serialize};
+
+/// A probe trace in sending order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbeTrace {
+    /// Per-probe records, sorted by sequence number.
+    pub records: Vec<ProbeRecord>,
+    /// The known delay floor of the path (propagation plus probe
+    /// transmission times). When treated as unknown, estimators use the
+    /// minimum observed one-way delay instead (§V-A).
+    pub base_delay: Dur,
+    /// Probe spacing.
+    pub interval: Dur,
+}
+
+impl ProbeTrace {
+    /// Build a trace from externally measured one-way delays — the entry
+    /// point for running the identification method on *real* measurement
+    /// data rather than simulator output. `owds[i]` is the one-way delay of
+    /// the `i`-th probe (sent at `i * interval`), or `None` if it was lost.
+    /// Ground-truth fields (per-link waits, loss hops) are left empty; only
+    /// estimators that need them (the simulator ground truth) will decline.
+    pub fn from_owd_series(
+        interval: Dur,
+        base_delay: Dur,
+        owds: impl IntoIterator<Item = Option<Dur>>,
+    ) -> ProbeTrace {
+        let records = owds
+            .into_iter()
+            .enumerate()
+            .map(|(i, owd)| {
+                let sent = Time::ZERO + interval * i as u64;
+                let mut stamp = crate::packet::ProbeStamp::new(i as u64, None, sent);
+                if owd.is_none() {
+                    // Loss at an unknown hop.
+                    stamp.loss_hop = Some(usize::MAX);
+                }
+                ProbeRecord {
+                    stamp,
+                    arrival: owd.map(|d| sent + d),
+                }
+            })
+            .collect();
+        ProbeTrace {
+            records,
+            base_delay,
+            interval,
+        }
+    }
+
+    /// Extract the trace accumulated in `sim`'s probe log.
+    pub fn from_sim(sim: &Simulator, base_delay: Dur, interval: Dur) -> Self {
+        let mut records: Vec<ProbeRecord> = sim.network().probe_log().to_vec();
+        records.sort_by_key(|r| r.stamp.seq);
+        ProbeTrace {
+            records,
+            base_delay,
+            interval,
+        }
+    }
+
+    /// Number of probes.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the trace empty?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of lost probes.
+    pub fn loss_count(&self) -> usize {
+        self.records.iter().filter(|r| !r.delivered()).count()
+    }
+
+    /// Fraction of probes lost.
+    pub fn loss_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.loss_count() as f64 / self.records.len() as f64
+        }
+    }
+
+    /// One-way delays of the delivered probes, in sending order.
+    pub fn observed_owds(&self) -> Vec<Dur> {
+        self.records.iter().filter_map(|r| r.owd()).collect()
+    }
+
+    /// Minimum observed one-way delay (the unknown-propagation-delay
+    /// estimate of the paper), or `None` if everything was lost.
+    pub fn min_owd(&self) -> Option<Dur> {
+        self.records.iter().filter_map(|r| r.owd()).min()
+    }
+
+    /// Maximum observed one-way delay.
+    pub fn max_owd(&self) -> Option<Dur> {
+        self.records.iter().filter_map(|r| r.owd()).max()
+    }
+
+    /// Ground-truth virtual queuing delays of the *lost* probes (what the
+    /// paper plots as "ns virtual").
+    pub fn ground_truth_virtual_delays(&self) -> Vec<Dur> {
+        self.records
+            .iter()
+            .filter(|r| !r.delivered())
+            .map(|r| r.stamp.virtual_queuing_delay())
+            .collect()
+    }
+
+    /// Observed queuing delays (one-way delay minus the delay floor) of
+    /// delivered probes — the paper's "observed" distribution in Fig. 5.
+    pub fn observed_queuing_delays(&self) -> Vec<Dur> {
+        let floor = self.base_delay;
+        self.records
+            .iter()
+            .filter_map(|r| r.owd())
+            .map(|d| d.saturating_sub_floor(floor))
+            .collect()
+    }
+
+    /// Sub-trace of probes sent within `[from, to)`.
+    pub fn window(&self, from: Time, to: Time) -> ProbeTrace {
+        ProbeTrace {
+            records: self
+                .records
+                .iter()
+                .filter(|r| r.stamp.sent_at >= from && r.stamp.sent_at < to)
+                .cloned()
+                .collect(),
+            base_delay: self.base_delay,
+            interval: self.interval,
+        }
+    }
+
+    /// Sub-trace of `count` consecutive probes starting at index `start`
+    /// (clamped to the trace end).
+    pub fn segment(&self, start: usize, count: usize) -> ProbeTrace {
+        let end = (start + count).min(self.records.len());
+        ProbeTrace {
+            records: self.records[start.min(end)..end].to_vec(),
+            base_delay: self.base_delay,
+            interval: self.interval,
+        }
+    }
+
+    /// The waiting delays recorded at route-hop `hop` across all probes
+    /// that have one there (ground truth).
+    pub fn waits_at_hop(&self, hop: usize) -> Vec<Dur> {
+        self.records
+            .iter()
+            .filter_map(|r| r.stamp.link_waits.get(hop).copied())
+            .collect()
+    }
+
+    /// For each lost probe: the hop it was dropped at and the queue drain
+    /// time it recorded there — the "actual maximum queuing delay" a full
+    /// queue imposed at the loss instant (ground truth for Tables II-III).
+    pub fn loss_drains(&self) -> Vec<(usize, Dur)> {
+        self.records
+            .iter()
+            .filter_map(|r| {
+                let hop = r.stamp.loss_hop?;
+                let drain = r.stamp.link_waits.get(hop).copied()?;
+                Some((hop, drain))
+            })
+            .collect()
+    }
+
+    /// Per-hop loss share: for each hop index of the probe route, the
+    /// fraction of lost probes that were dropped there (ground truth).
+    pub fn loss_share_by_hop(&self, num_hops: usize) -> Vec<f64> {
+        let mut counts = vec![0usize; num_hops];
+        let mut total = 0usize;
+        for r in &self.records {
+            if let Some(h) = r.stamp.loss_hop {
+                if h < num_hops {
+                    counts[h] += 1;
+                }
+                total += 1;
+            }
+        }
+        if total == 0 {
+            return vec![0.0; num_hops];
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / total as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::ProbeStamp;
+
+    fn rec(seq: u64, sent_s: f64, owd_ms: Option<f64>, vqd_ms: f64, loss_hop: Option<usize>) -> ProbeRecord {
+        let sent = Time::from_secs(sent_s);
+        let mut stamp = ProbeStamp::new(seq, None, sent);
+        stamp.loss_hop = loss_hop;
+        stamp.link_waits = vec![Dur::from_millis(vqd_ms)];
+        ProbeRecord {
+            stamp,
+            arrival: owd_ms.map(|ms| sent + Dur::from_millis(ms)),
+        }
+    }
+
+    fn trace() -> ProbeTrace {
+        ProbeTrace {
+            records: vec![
+                rec(0, 0.00, Some(30.0), 10.0, None),
+                rec(1, 0.02, None, 160.0, Some(1)),
+                rec(2, 0.04, Some(50.0), 30.0, None),
+                rec(3, 0.06, None, 170.0, Some(2)),
+                rec(4, 0.08, Some(25.0), 5.0, None),
+            ],
+            base_delay: Dur::from_millis(20.0),
+            interval: Dur::from_millis(20.0),
+        }
+    }
+
+    #[test]
+    fn loss_accounting() {
+        let t = trace();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.loss_count(), 2);
+        assert!((t.loss_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn owd_extremes() {
+        let t = trace();
+        assert_eq!(t.min_owd(), Some(Dur::from_millis(25.0)));
+        assert_eq!(t.max_owd(), Some(Dur::from_millis(50.0)));
+    }
+
+    #[test]
+    fn ground_truth_virtual_delays_are_lost_probes_only() {
+        let t = trace();
+        assert_eq!(
+            t.ground_truth_virtual_delays(),
+            vec![Dur::from_millis(160.0), Dur::from_millis(170.0)]
+        );
+    }
+
+    #[test]
+    fn observed_queuing_subtracts_floor() {
+        let t = trace();
+        assert_eq!(
+            t.observed_queuing_delays(),
+            vec![
+                Dur::from_millis(10.0),
+                Dur::from_millis(30.0),
+                Dur::from_millis(5.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn window_selects_by_send_time() {
+        let t = trace();
+        let w = t.window(Time::from_secs(0.02), Time::from_secs(0.08));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.records[0].stamp.seq, 1);
+    }
+
+    #[test]
+    fn segment_clamps() {
+        let t = trace();
+        assert_eq!(t.segment(3, 100).len(), 2);
+        assert_eq!(t.segment(10, 5).len(), 0);
+    }
+
+    #[test]
+    fn from_owd_series_builds_importable_traces() {
+        let t = ProbeTrace::from_owd_series(
+            Dur::from_millis(20.0),
+            Dur::from_millis(15.0),
+            vec![
+                Some(Dur::from_millis(25.0)),
+                None,
+                Some(Dur::from_millis(90.0)),
+            ],
+        );
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.loss_count(), 1);
+        assert_eq!(t.records[2].stamp.sent_at, Time::from_millis(40.0));
+        assert_eq!(t.min_owd(), Some(Dur::from_millis(25.0)));
+        // No ground truth: virtual delays of losses are empty sums.
+        assert_eq!(
+            t.ground_truth_virtual_delays(),
+            vec![Dur::ZERO]
+        );
+    }
+
+    #[test]
+    fn waits_and_drains_extract_ground_truth() {
+        let t = trace();
+        // Each record has one link wait at index 0.
+        assert_eq!(t.waits_at_hop(0).len(), 5);
+        assert!(t.waits_at_hop(3).is_empty());
+        let drains = t.loss_drains();
+        // Loss hops are 1 and 2 but link_waits only has index 0 -> none
+        // resolvable in this synthetic trace.
+        assert!(drains.is_empty());
+    }
+
+    #[test]
+    fn loss_share_by_hop_sums_to_one() {
+        let t = trace();
+        let share = t.loss_share_by_hop(3);
+        assert_eq!(share, vec![0.0, 0.5, 0.5]);
+    }
+}

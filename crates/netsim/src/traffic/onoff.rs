@@ -1,0 +1,198 @@
+//! Exponential on–off UDP (CBR) cross traffic, as used on the congested
+//! links of the paper's ns experiments.
+
+use crate::packet::{AgentId, Payload, Route};
+use crate::sim::{Agent, Ctx};
+use crate::time::Dur;
+use crate::traffic::tcp::exp_sample;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Timer kind: toggle between ON and OFF.
+const KIND_TOGGLE: u64 = 0;
+/// Timer kind tag for per-packet send timers; low bits carry the burst id.
+const SEND_TAG: u64 = 1 << 62;
+
+/// Configuration of an on–off UDP source.
+#[derive(Debug, Clone)]
+pub struct OnOffConfig {
+    /// Sending rate while ON, bits per second.
+    pub peak_bps: u64,
+    /// Packet size in bytes.
+    pub pkt_size: u32,
+    /// Mean ON period (exponential).
+    pub mean_on: Dur,
+    /// Mean OFF period (exponential).
+    pub mean_off: Dur,
+    /// Forward route.
+    pub route: Route,
+    /// Destination agent.
+    pub dst: AgentId,
+    /// Delay before the process starts (begins OFF).
+    pub start_delay: Dur,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl OnOffConfig {
+    /// Average sending rate of the process, bits per second.
+    pub fn mean_rate_bps(&self) -> f64 {
+        let on = self.mean_on.as_secs();
+        let off = self.mean_off.as_secs();
+        self.peak_bps as f64 * on / (on + off)
+    }
+}
+
+/// On–off UDP source agent.
+pub struct OnOffUdp {
+    cfg: OnOffConfig,
+    rng: SmallRng,
+    on: bool,
+    /// Invalidates stale send timers when a burst ends.
+    burst: u64,
+    packets_sent: u64,
+}
+
+impl OnOffUdp {
+    /// Create the source from its configuration.
+    pub fn new(cfg: OnOffConfig) -> Self {
+        let seed = cfg.seed;
+        OnOffUdp {
+            cfg,
+            rng: SmallRng::seed_from_u64(seed),
+            on: false,
+            burst: 0,
+            packets_sent: 0,
+        }
+    }
+
+    /// Packets sent so far.
+    pub fn packets_sent(&self) -> u64 {
+        self.packets_sent
+    }
+
+    fn pkt_spacing(&self) -> Dur {
+        Dur::transmission(self.cfg.pkt_size, self.cfg.peak_bps)
+    }
+
+    fn send_one(&mut self, ctx: &mut Ctx) {
+        ctx.send(
+            self.cfg.pkt_size,
+            self.cfg.dst,
+            self.cfg.route.clone(),
+            Payload::Udp,
+        );
+        self.packets_sent += 1;
+    }
+}
+
+impl Agent for OnOffUdp {
+    fn start(&mut self, ctx: &mut Ctx) {
+        ctx.timer_in(self.cfg.start_delay, KIND_TOGGLE);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, kind: u64) {
+        if kind == KIND_TOGGLE {
+            self.on = !self.on;
+            self.burst += 1;
+            if self.on {
+                self.send_one(ctx);
+                ctx.timer_in(self.pkt_spacing(), SEND_TAG | self.burst);
+                let on_for = exp_sample(&mut self.rng, self.cfg.mean_on);
+                ctx.timer_in(on_for, KIND_TOGGLE);
+            } else {
+                let off_for = exp_sample(&mut self.rng, self.cfg.mean_off);
+                ctx.timer_in(off_for, KIND_TOGGLE);
+            }
+        } else if kind & SEND_TAG != 0 && kind & !SEND_TAG == self.burst && self.on {
+            self.send_one(ctx);
+            ctx.timer_in(self.pkt_spacing(), SEND_TAG | self.burst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+    use crate::packet::LinkId;
+    use crate::sim::{NullAgent, Simulator};
+    use crate::time::Time;
+
+    fn scenario(peak: u64, mean_on: f64, mean_off: f64) -> Simulator {
+        let mut sim = Simulator::new();
+        let l = sim.add_link(LinkConfig::droptail(
+            "l",
+            10_000_000,
+            Dur::from_millis(5.0),
+            1_000_000,
+        ));
+        let sink = sim.add_agent(Box::new(NullAgent));
+        sim.add_agent(Box::new(OnOffUdp::new(OnOffConfig {
+            peak_bps: peak,
+            pkt_size: 1000,
+            mean_on: Dur::from_secs(mean_on),
+            mean_off: Dur::from_secs(mean_off),
+            route: vec![l].into(),
+            dst: sink,
+            start_delay: Dur::ZERO,
+            seed: 11,
+        })));
+        sim
+    }
+
+    #[test]
+    fn average_rate_matches_duty_cycle() {
+        // 2 Mb/s peak, 50% duty cycle -> ~1 Mb/s average.
+        let mut sim = scenario(2_000_000, 1.0, 1.0);
+        let horizon = 400.0;
+        sim.run_until(Time::from_secs(horizon));
+        let stats = sim.link_stats(LinkId(0));
+        let rate = stats.tx_bytes as f64 * 8.0 / horizon;
+        assert!(
+            (rate - 1_000_000.0).abs() < 150_000.0,
+            "mean rate {rate} b/s"
+        );
+    }
+
+    #[test]
+    fn off_heavy_process_sends_less() {
+        let mut sim = scenario(2_000_000, 0.5, 4.5);
+        sim.run_until(Time::from_secs(300.0));
+        let stats = sim.link_stats(LinkId(0));
+        let rate = stats.tx_bytes as f64 * 8.0 / 300.0;
+        // 10% duty cycle -> ~200 kb/s.
+        assert!((rate - 200_000.0).abs() < 80_000.0, "mean rate {rate} b/s");
+    }
+
+    #[test]
+    fn packets_are_spaced_at_peak_rate_during_on() {
+        let cfg = OnOffConfig {
+            peak_bps: 1_000_000,
+            pkt_size: 1000,
+            mean_on: Dur::from_secs(1.0),
+            mean_off: Dur::from_secs(1.0),
+            route: vec![LinkId(0)].into(),
+            dst: AgentId(0),
+            start_delay: Dur::ZERO,
+            seed: 1,
+        };
+        let agent = OnOffUdp::new(cfg);
+        assert_eq!(agent.pkt_spacing(), Dur::from_millis(8.0));
+    }
+
+    #[test]
+    fn mean_rate_helper_matches_definition() {
+        let cfg = OnOffConfig {
+            peak_bps: 3_000_000,
+            pkt_size: 1000,
+            mean_on: Dur::from_secs(1.0),
+            mean_off: Dur::from_secs(2.0),
+            route: vec![LinkId(0)].into(),
+            dst: AgentId(0),
+            start_delay: Dur::ZERO,
+            seed: 1,
+        };
+        assert!((cfg.mean_rate_bps() - 1_000_000.0).abs() < 1e-6);
+    }
+}

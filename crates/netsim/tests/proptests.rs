@@ -1,0 +1,164 @@
+//! Property-based tests for the simulator: time arithmetic, queue-law
+//! conservation, and determinism under arbitrary scenario knobs.
+
+use dcl_netsim::link::{EnqueueOutcome, Link, LinkConfig};
+use dcl_netsim::packet::{AgentId, LinkId, Packet, Payload};
+use dcl_netsim::queue::BufferLimit;
+use dcl_netsim::scenarios::{HopSpec, PathScenario, PathScenarioConfig, TrafficMix, UdpCross};
+use dcl_netsim::time::{Dur, Time};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn time_arithmetic_is_consistent(a in 0u64..1u64 << 50, b in 0u64..1u64 << 50) {
+        let t = Time::from_nanos(a);
+        let d = Dur::from_nanos(b);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d).since(t), d);
+        prop_assert_eq!(t.saturating_since(t + d), Dur::ZERO);
+    }
+
+    #[test]
+    fn transmission_time_scales_linearly(bytes in 1u32..100_000, bw in 1_000u64..1_000_000_000) {
+        let one = Dur::transmission(bytes, bw);
+        let two = Dur::transmission(bytes, bw * 2);
+        // Doubling the bandwidth halves the time (within integer rounding).
+        let diff = one.as_nanos() as i128 - 2 * two.as_nanos() as i128;
+        prop_assert!(diff.abs() <= 2, "{one:?} vs {two:?}");
+    }
+
+    #[test]
+    fn buffer_limit_fits_is_monotone(cap in 1u64..100_000, used in 0u64..100_000, size in 1u32..2000) {
+        let lim = BufferLimit::Bytes(cap);
+        if lim.fits(used, 0, size) {
+            // A smaller queue always fits what a bigger one did.
+            prop_assert!(lim.fits(used.saturating_sub(1), 0, size));
+        }
+    }
+}
+
+fn pkt(id: u64, size: u32) -> Packet {
+    Packet {
+        id,
+        size,
+        src: AgentId(0),
+        dst: AgentId(1),
+        route: vec![LinkId(0)].into(),
+        hop: 0,
+        payload: Payload::Udp,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Queue conservation: every offered packet is either transmitted,
+    /// dropped, queued, or in service — regardless of arrival pattern.
+    #[test]
+    fn link_conserves_packets(
+        sizes in prop::collection::vec(10u32..1500, 1..200),
+        buffer in 2_000u64..20_000,
+    ) {
+        let mut link = Link::new(LinkConfig::droptail(
+            "prop",
+            1_000_000,
+            Dur::from_millis(1.0),
+            buffer,
+        ));
+        let mut now = Time::ZERO;
+        let mut tx_due: Option<Time> = None;
+        let mut transmitted = 0u64;
+        let mut dropped = 0u64;
+        for (i, &size) in sizes.iter().enumerate() {
+            // Occasionally let the link drain one packet.
+            if i % 3 == 0 {
+                if let Some(t) = tx_due.take() {
+                    now = t;
+                    let (_, next) = link.complete_tx(now);
+                    transmitted += 1;
+                    tx_due = next;
+                }
+            }
+            match link.enqueue(pkt(i as u64, size), now) {
+                EnqueueOutcome::Accepted { start_tx: Some(t) } => tx_due = Some(t),
+                EnqueueOutcome::Accepted { start_tx: None } => {}
+                EnqueueOutcome::Dropped { .. } => dropped += 1,
+            }
+        }
+        let stats = *link.stats();
+        prop_assert_eq!(stats.arrivals, sizes.len() as u64);
+        prop_assert_eq!(stats.drops_overflow + stats.drops_red, dropped);
+        prop_assert_eq!(stats.tx_packets, transmitted);
+        let in_flight = link.queue_len() as u64 + u64::from(link.busy());
+        prop_assert_eq!(
+            stats.arrivals,
+            transmitted + dropped + in_flight,
+            "conservation"
+        );
+    }
+
+    /// The simulator is deterministic: same seed, same trace; and the probe
+    /// log accounts for every probe sent in the measured window (no probe
+    /// vanishes, none is double-counted).
+    #[test]
+    fn scenario_probe_accounting_holds(
+        seed in any::<u64>(),
+        bw in 2_000_000u64..20_000_000,
+        ftp in 0usize..3,
+        peak_frac in 0.1f64..2.0,
+    ) {
+        let mix = TrafficMix {
+            ftp_flows: ftp,
+            http_sessions: 1,
+            udp: Some(UdpCross {
+                peak_bps: (bw as f64 * peak_frac) as u64,
+                mean_on: Dur::from_millis(400.0),
+                mean_off: Dur::from_secs(1.0),
+                pkt_size: 1000,
+            }),
+        };
+        let hops = vec![
+            HopSpec::droptail(bw, 50_000, mix),
+            HopSpec::droptail(100_000_000, 500_000, TrafficMix::none()),
+        ];
+        let mut cfg = PathScenarioConfig::new(hops, seed);
+        cfg.access_bps = 100_000_000;
+        let run = |cfg: &PathScenarioConfig| {
+            let mut sc = PathScenario::build(cfg);
+            sc.run(Dur::from_secs(2.0), Dur::from_secs(8.0))
+        };
+        let t1 = run(&cfg);
+        let t2 = run(&cfg);
+        prop_assert_eq!(t1.len(), t2.len());
+        prop_assert_eq!(t1.loss_count(), t2.loss_count());
+
+        // Sequence numbers are consecutive and unique within the window.
+        let mut seqs: Vec<u64> = t1.records.iter().map(|r| r.stamp.seq).collect();
+        let before = seqs.len();
+        seqs.dedup();
+        prop_assert_eq!(seqs.len(), before, "duplicate probe records");
+        for w in seqs.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+
+        // Every record carries per-link ground truth: delivered probes one
+        // wait per route link, lost probes likewise (ghost-completed).
+        // For delivered probes, delay decomposition must hold exactly:
+        // owd = sum of per-link waits + the path's fixed delay floor.
+        for r in &t1.records {
+            prop_assert_eq!(r.stamp.link_waits.len(), 4, "route has 4 links");
+            match r.owd() {
+                Some(owd) => {
+                    let waits = r.stamp.virtual_queuing_delay();
+                    let reconstructed = waits + t1.base_delay;
+                    let diff = owd.as_nanos() as i128 - reconstructed.as_nanos() as i128;
+                    prop_assert!(
+                        diff.abs() <= 10,
+                        "delay decomposition violated: owd {owd} vs {reconstructed}"
+                    );
+                }
+                None => prop_assert!(r.stamp.loss_hop.is_some()),
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Behavioural integration tests for the TCP Reno implementation: loss
+//! recovery mechanisms, timer behaviour, and interaction fairness.
+
+use dcl_netsim::link::LinkConfig;
+use dcl_netsim::packet::LinkId;
+use dcl_netsim::queue::BufferLimit;
+use dcl_netsim::sim::Simulator;
+use dcl_netsim::time::{Dur, Time};
+use dcl_netsim::traffic::{TcpConfig, TcpSender, TcpSink};
+
+/// Forward/reverse pair with the given forward characteristics.
+fn duplex(
+    sim: &mut Simulator,
+    bw: u64,
+    buffer_pkts: usize,
+) -> (dcl_netsim::packet::LinkId, dcl_netsim::packet::LinkId) {
+    let mut fwd = LinkConfig::droptail("fwd", bw, Dur::from_millis(10.0), 1_000_000);
+    fwd.buffer = BufferLimit::Packets(buffer_pkts);
+    let rev = LinkConfig::droptail("rev", 100_000_000, Dur::from_millis(10.0), 1_000_000);
+    (sim.add_link(fwd), sim.add_link(rev))
+}
+
+/// Build one FTP flow over the pair; returns the sender's agent id so its
+/// stats can be read back through a probe of the simulator.
+fn ftp(sim: &mut Simulator, fwd: LinkId, rev: LinkId, seed: u64) -> dcl_netsim::packet::AgentId {
+    let sink = sim.add_agent(Box::new(TcpSink::new(vec![rev].into(), 40)));
+    sim.add_agent(Box::new(TcpSender::new(TcpConfig::ftp(
+        vec![fwd].into(),
+        sink,
+        Dur::ZERO,
+        seed,
+    ))))
+}
+
+#[test]
+fn reno_uses_fast_retransmit_under_mild_loss() {
+    let mut sim = Simulator::new();
+    let (fwd, rev) = duplex(&mut sim, 2_000_000, 20);
+    ftp(&mut sim, fwd, rev, 3);
+    sim.run_until(Time::from_secs(60.0));
+    let stats = sim.link_stats(fwd);
+    assert!(stats.drops_overflow > 0, "buffer must overflow");
+    // Progress continues at high utilisation: fast retransmit, not stalls.
+    let util = stats.utilization(Dur::from_secs(60.0));
+    assert!(util > 0.85, "utilization {util}");
+}
+
+#[test]
+fn tiny_buffer_forces_timeouts_but_no_livelock() {
+    let mut sim = Simulator::new();
+    // A 2-packet buffer makes fast retransmit often impossible (not enough
+    // dupacks), forcing RTO-based recovery.
+    let (fwd, rev) = duplex(&mut sim, 1_000_000, 2);
+    ftp(&mut sim, fwd, rev, 5);
+    sim.run_until(Time::from_secs(120.0));
+    let stats = sim.link_stats(fwd);
+    assert!(stats.drops_overflow > 0);
+    assert!(
+        stats.tx_packets > 2000,
+        "the flow must keep moving data: {}",
+        stats.tx_packets
+    );
+}
+
+#[test]
+fn two_flows_share_a_bottleneck_roughly_fairly() {
+    let mut sim = Simulator::new();
+    let (fwd, rev) = duplex(&mut sim, 4_000_000, 40);
+    // Two FTP flows with separate sinks; count per-sink deliveries.
+    let sink_a = sim.add_agent(Box::new(TcpSink::new(vec![rev].into(), 40)));
+    let sink_b = sim.add_agent(Box::new(TcpSink::new(vec![rev].into(), 40)));
+    sim.add_agent(Box::new(TcpSender::new(TcpConfig::ftp(
+        vec![fwd].into(),
+        sink_a,
+        Dur::ZERO,
+        7,
+    ))));
+    sim.add_agent(Box::new(TcpSender::new(TcpConfig::ftp(
+        vec![fwd].into(),
+        sink_b,
+        Dur::from_millis(37.0),
+        8,
+    ))));
+    sim.run_until(Time::from_secs(120.0));
+    let stats = sim.link_stats(fwd);
+    let util = stats.utilization(Dur::from_secs(120.0));
+    assert!(util > 0.9, "two Reno flows must fill the pipe: {util}");
+    // Reverse link carried both flows' ACKs.
+    assert!(sim.link_stats(rev).tx_packets > 10_000);
+}
+
+#[test]
+fn http_sessions_complete_and_go_idle() {
+    let mut sim = Simulator::new();
+    let (fwd, rev) = duplex(&mut sim, 50_000_000, 500);
+    let sink = sim.add_agent(Box::new(TcpSink::new(vec![rev].into(), 40)));
+    sim.add_agent(Box::new(TcpSender::new(TcpConfig::http(
+        vec![fwd].into(),
+        sink,
+        Dur::ZERO,
+        11,
+    ))));
+    sim.run_until(Time::from_secs(300.0));
+    let stats = sim.link_stats(fwd);
+    // Transfers happened...
+    assert!(stats.tx_packets > 100, "{}", stats.tx_packets);
+    // ...but the link idles between sessions (think times dominate).
+    assert!(stats.utilization(Dur::from_secs(300.0)) < 0.3);
+}
+
+#[test]
+fn sender_is_quiescent_before_start_delay() {
+    let mut sim = Simulator::new();
+    let (fwd, rev) = duplex(&mut sim, 1_000_000, 20);
+    let sink = sim.add_agent(Box::new(TcpSink::new(vec![rev].into(), 40)));
+    sim.add_agent(Box::new(TcpSender::new(TcpConfig::ftp(
+        vec![fwd].into(),
+        sink,
+        Dur::from_secs(30.0),
+        13,
+    ))));
+    sim.run_until(Time::from_secs(29.0));
+    assert_eq!(sim.link_stats(fwd).tx_packets, 0);
+    sim.run_until(Time::from_secs(60.0));
+    assert!(sim.link_stats(fwd).tx_packets > 100);
+}

@@ -1,0 +1,281 @@
+//! Scaled forward–backward recursion, generic over the state space.
+//!
+//! Both EM algorithms of the paper (HMM, Appendix B's MMHD) reduce to the
+//! same machinery once the per-step emission likelihoods are in hand: a
+//! forward pass, a backward pass, per-step rescaling, and the resulting
+//! smoothed posteriors. This module implements that machinery once, with
+//! the textbook per-step normalisation (Rabiner's scaling), accumulating
+//! the exact log-likelihood from the scale factors.
+
+// Index-based loops are deliberate in the numeric kernels below: the
+// indices couple several arrays at once and mirror the papers' notation.
+#![allow(clippy::needless_range_loop)]
+
+use crate::matrix::Matrix;
+
+/// Output of the scaled forward–backward recursion over `T` steps and `S`
+/// states.
+#[derive(Debug, Clone)]
+pub struct ForwardBackward {
+    /// Scaled forward variables, row `t` summing to one (`T x S`).
+    pub alpha: Matrix,
+    /// Scaled backward variables (`T x S`), scaled with the forward factors.
+    pub beta: Matrix,
+    /// Per-step scale factors (the inverse row sums of the unscaled alpha).
+    pub scales: Vec<f64>,
+    /// Log-likelihood of the observation sequence.
+    pub log_likelihood: f64,
+}
+
+impl ForwardBackward {
+    /// Run the recursion.
+    ///
+    /// * `init` — initial distribution (length `S`);
+    /// * `trans` — row-stochastic transition matrix (`S x S`);
+    /// * `emis` — emission likelihood of each step's observation in each
+    ///   state (`T x S`, entries need not be normalised over states).
+    ///
+    /// Panics on shape mismatches or an empty sequence. If some step makes
+    /// every state impossible (all-zero emission row after transition), the
+    /// step's posterior is replaced by the uniform distribution and the
+    /// log-likelihood saturates at `-inf` — callers should treat that as a
+    /// degenerate model, not a crash.
+    pub fn run(init: &[f64], trans: &Matrix, emis: &Matrix) -> ForwardBackward {
+        let s = init.len();
+        let t_len = emis.rows();
+        assert!(t_len > 0, "empty observation sequence");
+        assert_eq!(trans.rows(), s);
+        assert_eq!(trans.cols(), s);
+        assert_eq!(emis.cols(), s);
+
+        let mut alpha = Matrix::zeros(t_len, s);
+        let mut scales = vec![0.0; t_len];
+        let mut log_likelihood = 0.0;
+
+        // Forward.
+        {
+            let row = alpha.row_mut(0);
+            let e = emis.row(0);
+            for j in 0..s {
+                row[j] = init[j] * e[j];
+            }
+        }
+        for t in 0..t_len {
+            if t > 0 {
+                // alpha_t(j) = sum_i alpha_{t-1}(i) a(i,j) * e_t(j)
+                let (prev, cur) = alpha_rows_mut(&mut alpha, t);
+                let e = emis.row(t);
+                for x in cur.iter_mut() {
+                    *x = 0.0;
+                }
+                for (i, &ai) in prev.iter().enumerate() {
+                    if ai == 0.0 {
+                        continue;
+                    }
+                    let arow = trans.row(i);
+                    for j in 0..s {
+                        cur[j] += ai * arow[j];
+                    }
+                }
+                for j in 0..s {
+                    cur[j] *= e[j];
+                }
+            }
+            let row = alpha.row_mut(t);
+            let sum: f64 = row.iter().sum();
+            if sum > 0.0 && sum.is_finite() {
+                let inv = 1.0 / sum;
+                for x in row.iter_mut() {
+                    *x *= inv;
+                }
+                scales[t] = inv;
+                log_likelihood += sum.ln();
+            } else {
+                // Degenerate step: no state explains the observation.
+                let u = 1.0 / s as f64;
+                for x in row.iter_mut() {
+                    *x = u;
+                }
+                scales[t] = 1.0;
+                log_likelihood = f64::NEG_INFINITY;
+            }
+        }
+
+        // Backward, scaled by the forward factors so that
+        // gamma_t(j) ~ alpha_t(j) * beta_t(j) without further normalisation
+        // beyond a per-row sum.
+        let mut beta = Matrix::zeros(t_len, s);
+        for x in beta.row_mut(t_len - 1).iter_mut() {
+            *x = 1.0;
+        }
+        for t in (0..t_len - 1).rev() {
+            let e = emis.row(t + 1);
+            let mut weighted = vec![0.0; s];
+            {
+                let next = beta.row(t + 1);
+                for j in 0..s {
+                    weighted[j] = next[j] * e[j];
+                }
+            }
+            let row = beta.row_mut(t);
+            for i in 0..s {
+                let arow = trans.row(i);
+                let mut acc = 0.0;
+                for j in 0..s {
+                    acc += arow[j] * weighted[j];
+                }
+                row[i] = acc * scales[t + 1];
+            }
+        }
+
+        ForwardBackward {
+            alpha,
+            beta,
+            scales,
+            log_likelihood,
+        }
+    }
+
+    /// Smoothed state posterior at step `t` (normalised product of the
+    /// scaled alpha and beta rows).
+    pub fn gamma(&self, t: usize) -> Vec<f64> {
+        let a = self.alpha.row(t);
+        let b = self.beta.row(t);
+        let mut g: Vec<f64> = a.iter().zip(b).map(|(x, y)| x * y).collect();
+        crate::stochastic::normalize(&mut g);
+        g
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.alpha.rows()
+    }
+
+    /// Is the sequence empty (never true: construction rejects empties).
+    pub fn is_empty(&self) -> bool {
+        self.alpha.rows() == 0
+    }
+}
+
+/// Mutable access to rows `t-1` and `t` simultaneously.
+fn alpha_rows_mut(m: &mut Matrix, t: usize) -> (&[f64], &mut [f64]) {
+    debug_assert!(t > 0);
+    let cols = m.cols();
+    let data = m.as_mut_slice();
+    let (head, tail) = data.split_at_mut(t * cols);
+    (&head[(t - 1) * cols..], &mut tail[..cols])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2-state chain with distinct emissions; hand-checkable numbers.
+    fn toy() -> (Vec<f64>, Matrix, Matrix) {
+        let init = vec![0.6, 0.4];
+        let trans = Matrix::from_vec(2, 2, vec![0.7, 0.3, 0.4, 0.6]);
+        // Three steps, emission likelihood of the observed symbol per state.
+        let emis = Matrix::from_vec(3, 2, vec![0.9, 0.2, 0.1, 0.8, 0.9, 0.2]);
+        (init, trans, emis)
+    }
+
+    /// Direct (unscaled) likelihood by brute-force path enumeration.
+    fn brute_force_likelihood(init: &[f64], trans: &Matrix, emis: &Matrix) -> f64 {
+        let s = init.len();
+        let t_len = emis.rows();
+        let mut total = 0.0;
+        let mut path = vec![0usize; t_len];
+        loop {
+            let mut p = init[path[0]] * emis.get(0, path[0]);
+            for t in 1..t_len {
+                p *= trans.get(path[t - 1], path[t]) * emis.get(t, path[t]);
+            }
+            total += p;
+            // Increment the path odometer.
+            let mut t = 0;
+            loop {
+                path[t] += 1;
+                if path[t] < s {
+                    break;
+                }
+                path[t] = 0;
+                t += 1;
+                if t == t_len {
+                    return total;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn log_likelihood_matches_brute_force() {
+        let (init, trans, emis) = toy();
+        let fb = ForwardBackward::run(&init, &trans, &emis);
+        let direct = brute_force_likelihood(&init, &trans, &emis);
+        assert!((fb.log_likelihood - direct.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gammas_are_distributions() {
+        let (init, trans, emis) = toy();
+        let fb = ForwardBackward::run(&init, &trans, &emis);
+        for t in 0..fb.len() {
+            let g = fb.gamma(t);
+            assert!(crate::stochastic::is_distribution(&g), "t={t}: {g:?}");
+        }
+    }
+
+    #[test]
+    fn gamma_matches_brute_force_posterior() {
+        let (init, trans, emis) = toy();
+        let fb = ForwardBackward::run(&init, &trans, &emis);
+        // Posterior of state 0 at t=1 by enumeration.
+        let s = 2;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for s0 in 0..s {
+            for s1 in 0..s {
+                for s2 in 0..s {
+                    let p = init[s0]
+                        * emis.get(0, s0)
+                        * trans.get(s0, s1)
+                        * emis.get(1, s1)
+                        * trans.get(s1, s2)
+                        * emis.get(2, s2);
+                    den += p;
+                    if s1 == 0 {
+                        num += p;
+                    }
+                }
+            }
+        }
+        let g = fb.gamma(1);
+        assert!((g[0] - num / den).abs() < 1e-10);
+    }
+
+    #[test]
+    fn long_sequences_do_not_underflow() {
+        let init = vec![0.5, 0.5];
+        let trans = Matrix::from_vec(2, 2, vec![0.9, 0.1, 0.1, 0.9]);
+        let t_len = 20_000;
+        let mut emis = Matrix::zeros(t_len, 2);
+        for t in 0..t_len {
+            emis.set(t, 0, 0.3);
+            emis.set(t, 1, 0.05);
+        }
+        let fb = ForwardBackward::run(&init, &trans, &emis);
+        assert!(fb.log_likelihood.is_finite());
+        assert!(fb.log_likelihood < 0.0);
+        let g = fb.gamma(t_len / 2);
+        assert!(g[0] > 0.9, "state 0 should dominate: {g:?}");
+    }
+
+    #[test]
+    fn impossible_observation_saturates_likelihood() {
+        let init = vec![1.0, 0.0];
+        let trans = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let emis = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 0.0]);
+        let fb = ForwardBackward::run(&init, &trans, &emis);
+        assert_eq!(fb.log_likelihood, f64::NEG_INFINITY);
+    }
+}

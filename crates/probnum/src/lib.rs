@@ -1,0 +1,38 @@
+//! Shared probability and numerics utilities for the dominant-congested-link
+//! reproduction.
+//!
+//! This crate deliberately stays small and dependency-light. It provides the
+//! pieces that every statistical component of the workspace needs:
+//!
+//! * [`stochastic`] — normalisation and validation of probability vectors and
+//!   row-stochastic matrices, plus random initialisation for EM restarts;
+//! * [`matrix`] — a dense row-major [`matrix::Matrix`] used for transition
+//!   matrices;
+//! * [`dist`] — discrete distributions over delay symbols ([`dist::Pmf`] /
+//!   [`dist::Cdf`]) with the support/quantile queries the hypothesis tests
+//!   are built from;
+//! * [`obs`] — the probe observation alphabet (delay symbol or loss);
+//! * [`fb`] — the scaled forward-backward recursion both EM algorithms
+//!   build on;
+//! * [`logspace`] — numerically stable log-domain helpers;
+//! * [`stats`] — scalar summary statistics used by the experiment harness.
+//!
+//! Everything is deterministic given a caller-supplied RNG; nothing in this
+//! crate reads wall-clock time or global randomness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod fb;
+pub mod logspace;
+pub mod markov;
+pub mod matrix;
+pub mod obs;
+pub mod stats;
+pub mod stochastic;
+
+pub use dist::{Cdf, Pmf};
+pub use fb::ForwardBackward;
+pub use matrix::Matrix;
+pub use obs::Obs;

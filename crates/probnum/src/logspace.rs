@@ -1,0 +1,73 @@
+//! Numerically stable log-domain helpers.
+//!
+//! The EM implementations work in scaled linear space (faster), but the
+//! log-likelihood itself is accumulated in log space, and the tests compare
+//! scaled and log-space results; these helpers keep that code honest.
+
+/// `ln(exp(a) + exp(b))` without overflow/underflow.
+pub fn log_add(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// `ln(sum_i exp(xs[i]))` without overflow/underflow.
+///
+/// Returns `NEG_INFINITY` for an empty slice (the log of an empty sum).
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_add_matches_direct() {
+        let a: f64 = 0.3;
+        let b: f64 = 0.9;
+        let direct = (a.exp() + b.exp()).ln();
+        assert!((log_add(a, b) - direct).abs() < 1e-12);
+        assert!((log_add(b, a) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_add_with_neg_infinity() {
+        assert_eq!(log_add(f64::NEG_INFINITY, 2.0), 2.0);
+        assert_eq!(log_add(2.0, f64::NEG_INFINITY), 2.0);
+        assert_eq!(
+            log_add(f64::NEG_INFINITY, f64::NEG_INFINITY),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn log_sum_exp_handles_large_magnitudes() {
+        // exp(1000) overflows f64; the stable version must not.
+        let v = [1000.0, 1000.0];
+        let got = log_sum_exp(&v);
+        assert!((got - (1000.0 + 2f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_empty_is_neg_infinity() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log_sum_exp_matches_direct_small() {
+        let v = [-1.0, 0.0, 0.5];
+        let direct: f64 = v.iter().map(|x: &f64| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&v) - direct).abs() < 1e-12);
+    }
+}

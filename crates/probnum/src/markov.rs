@@ -1,0 +1,118 @@
+//! Finite Markov-chain utilities over row-stochastic matrices.
+//!
+//! Used to sanity-check fitted models (e.g. the stationary symbol
+//! distribution of an MMHD should match the empirical symbol frequencies)
+//! and by tests that need exact chain quantities.
+
+use crate::matrix::Matrix;
+use crate::stochastic;
+
+/// Stationary distribution of a row-stochastic matrix by power iteration.
+///
+/// Converges for any irreducible aperiodic chain; for reducible chains the
+/// result depends on the (uniform) starting vector, which is the standard
+/// pragmatic behaviour. Returns `None` if `tol` is not reached within
+/// `max_iters`.
+pub fn stationary(p: &Matrix, tol: f64, max_iters: usize) -> Option<Vec<f64>> {
+    assert_eq!(p.rows(), p.cols(), "transition matrix must be square");
+    assert!(p.is_row_stochastic(), "matrix must be row stochastic");
+    let n = p.rows();
+    let mut v = stochastic::uniform(n);
+    let mut next = vec![0.0; n];
+    for _ in 0..max_iters {
+        next.fill(0.0);
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            let row = p.row(i);
+            for j in 0..n {
+                next[j] += vi * row[j];
+            }
+        }
+        stochastic::normalize(&mut next);
+        let delta = stochastic::max_abs_diff(&v, &next);
+        std::mem::swap(&mut v, &mut next);
+        if delta < tol {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Expected fraction of time the chain spends in each *group* of states,
+/// where `group_of(state)` maps a state to its group index (e.g. an MMHD
+/// product state to its delay symbol). Computed from the stationary
+/// distribution.
+pub fn stationary_groups(
+    p: &Matrix,
+    num_groups: usize,
+    group_of: impl Fn(usize) -> usize,
+    tol: f64,
+    max_iters: usize,
+) -> Option<Vec<f64>> {
+    let pi = stationary(p, tol, max_iters)?;
+    let mut out = vec![0.0; num_groups];
+    for (x, &m) in pi.iter().enumerate() {
+        out[group_of(x)] += m;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_state_chain_has_known_stationary() {
+        // p(0->1) = 0.2, p(1->0) = 0.4: pi = (2/3, 1/3).
+        let p = Matrix::from_vec(2, 2, vec![0.8, 0.2, 0.4, 0.6]);
+        let pi = stationary(&p, 1e-12, 10_000).unwrap();
+        assert!((pi[0] - 2.0 / 3.0).abs() < 1e-9);
+        assert!((pi[1] - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doubly_stochastic_chain_is_uniform() {
+        let p = Matrix::from_vec(
+            3,
+            3,
+            vec![0.5, 0.25, 0.25, 0.25, 0.5, 0.25, 0.25, 0.25, 0.5],
+        );
+        let pi = stationary(&p, 1e-12, 10_000).unwrap();
+        for x in pi {
+            assert!((x - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stationary_is_a_fixed_point() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let p = Matrix::random_stochastic(&mut rng, 6, 6);
+        let pi = stationary(&p, 1e-13, 100_000).unwrap();
+        // pi P = pi.
+        for j in 0..6 {
+            let pij: f64 = (0..6).map(|i| pi[i] * p.get(i, j)).sum();
+            assert!((pij - pi[j]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn groups_aggregate_the_stationary_mass() {
+        let p = Matrix::from_vec(2, 2, vec![0.8, 0.2, 0.4, 0.6]);
+        let g = stationary_groups(&p, 1, |_| 0, 1e-12, 10_000).unwrap();
+        assert!((g[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn periodic_chain_does_not_converge() {
+        // Pure 2-cycle: power iteration from uniform actually stays at
+        // (0.5, 0.5), which *is* stationary — so it converges. Use a
+        // slightly asymmetric start by checking a 2-cycle from a delta is
+        // out of scope; instead verify the cycle's uniform fixed point.
+        let p = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let pi = stationary(&p, 1e-12, 100).unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,184 @@
+//! A small dense row-major matrix used for Markov transition matrices.
+//!
+//! The EM algorithms only ever need row access, row normalisation and
+//! element lookup, so this type stays intentionally minimal rather than
+//! pulling in a linear-algebra dependency.
+
+use crate::stochastic;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major `rows x cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Build from a row-major data vector. Panics if the length mismatches.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Row-stochastic matrix with every row uniform.
+    pub fn uniform_stochastic(n: usize, m: usize) -> Self {
+        assert!(m > 0);
+        Matrix::filled(n, m, 1.0 / m as f64)
+    }
+
+    /// Row-stochastic matrix with rows drawn at random (strictly positive
+    /// entries), for EM initialisation.
+    pub fn random_stochastic<R: Rng + ?Sized>(rng: &mut R, n: usize, m: usize) -> Self {
+        let mut out = Matrix::zeros(n, m);
+        for r in 0..n {
+            let row = stochastic::random_distribution(rng, m);
+            out.row_mut(r).copy_from_slice(&row);
+        }
+        out
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable underlying row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Normalise each row to sum to one (rows with zero mass become uniform).
+    pub fn normalize_rows(&mut self) {
+        for r in 0..self.rows {
+            stochastic::normalize(self.row_mut(r));
+        }
+    }
+
+    /// Is every row a probability distribution?
+    pub fn is_row_stochastic(&self) -> bool {
+        (0..self.rows).all(|r| stochastic::is_distribution(self.row(r)))
+    }
+
+    /// Maximum absolute element-wise difference to `other`.
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        stochastic::max_abs_diff(&self.data, &other.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_and_access() {
+        let mut m = Matrix::zeros(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        m.set(1, 2, 4.5);
+        assert_eq!(m.get(1, 2), 4.5);
+        assert_eq!(m.row(1), &[0.0, 0.0, 4.5]);
+    }
+
+    #[test]
+    fn uniform_stochastic_rows_sum_to_one() {
+        let m = Matrix::uniform_stochastic(3, 4);
+        assert!(m.is_row_stochastic());
+    }
+
+    #[test]
+    fn random_stochastic_rows_sum_to_one() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = Matrix::random_stochastic(&mut rng, 5, 6);
+        assert!(m.is_row_stochastic());
+        assert!(m.as_slice().iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn normalize_rows_fixes_mass() {
+        let mut m = Matrix::from_vec(2, 2, vec![2.0, 2.0, 0.0, 0.0]);
+        m.normalize_rows();
+        assert!(m.is_row_stochastic());
+        assert_eq!(m.get(0, 0), 0.5);
+        assert_eq!(m.get(1, 1), 0.5);
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let b = Matrix::from_vec(1, 2, vec![0.25, 1.0]);
+        assert_eq!(a.max_abs_diff(&b), 0.25);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+}

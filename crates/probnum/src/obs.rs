@@ -1,0 +1,95 @@
+//! The observation alphabet shared by the HMM and MMHD estimators.
+//!
+//! Each periodic probe yields either a discretised delay symbol in `1..=M`
+//! or a loss — which the paper's key insight interprets as *a delay with a
+//! missing value* (§V).
+
+use serde::{Deserialize, Serialize};
+
+/// One probe observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Obs {
+    /// Discretised delay symbol, `1..=M`.
+    Sym(u16),
+    /// The probe was lost: its delay symbol is unobserved.
+    Loss,
+}
+
+impl Obs {
+    /// Is this a loss?
+    pub fn is_loss(self) -> bool {
+        matches!(self, Obs::Loss)
+    }
+
+    /// The delay symbol, if observed.
+    pub fn symbol(self) -> Option<usize> {
+        match self {
+            Obs::Sym(s) => Some(s as usize),
+            Obs::Loss => None,
+        }
+    }
+}
+
+/// Validate an observation sequence against an alphabet of `m` symbols:
+/// every observed symbol must lie in `1..=m`. Returns the number of losses.
+///
+/// # Errors
+///
+/// Returns a description of the first offending element.
+pub fn validate_sequence(obs: &[Obs], m: usize) -> Result<usize, String> {
+    let mut losses = 0;
+    for (i, &o) in obs.iter().enumerate() {
+        match o {
+            Obs::Loss => losses += 1,
+            Obs::Sym(s) => {
+                if s == 0 || s as usize > m {
+                    return Err(format!(
+                        "observation {i} has symbol {s} outside 1..={m}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(losses)
+}
+
+/// Fraction of observations that are losses.
+pub fn loss_fraction(obs: &[Obs]) -> f64 {
+    if obs.is_empty() {
+        return 0.0;
+    }
+    obs.iter().filter(|o| o.is_loss()).count() as f64 / obs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_accessors() {
+        assert!(Obs::Loss.is_loss());
+        assert!(!Obs::Sym(3).is_loss());
+        assert_eq!(Obs::Sym(3).symbol(), Some(3));
+        assert_eq!(Obs::Loss.symbol(), None);
+    }
+
+    #[test]
+    fn validate_counts_losses() {
+        let seq = [Obs::Sym(1), Obs::Loss, Obs::Sym(5), Obs::Loss];
+        assert_eq!(validate_sequence(&seq, 5), Ok(2));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        assert!(validate_sequence(&[Obs::Sym(0)], 5).is_err());
+        assert!(validate_sequence(&[Obs::Sym(6)], 5).is_err());
+        assert!(validate_sequence(&[Obs::Sym(5)], 5).is_ok());
+    }
+
+    #[test]
+    fn loss_fraction_basics() {
+        assert_eq!(loss_fraction(&[]), 0.0);
+        let seq = [Obs::Loss, Obs::Sym(1), Obs::Sym(2), Obs::Loss];
+        assert!((loss_fraction(&seq) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,175 @@
+//! Scalar summary statistics used by the experiment harness and the traffic
+//! generators' self-checks.
+
+/// Running mean/variance accumulator (Welford's algorithm).
+///
+/// Used by the simulator for link-utilisation accounting and by the bench
+/// harness for repeated-trial summaries; single pass, numerically stable.
+#[derive(Debug, Clone, Default)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Running {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Incorporate one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+
+/// Wilson score interval for a binomial proportion at ~95 % confidence
+/// (`z = 1.96`). Returns `(low, high)`; well-behaved at the 0/1 edges
+/// (unlike the normal approximation), which is exactly where the
+/// correct-identification ratios of the duration sweeps live.
+pub fn wilson_interval(successes: u64, trials: u64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.96f64;
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+/// Empirical quantile of `sorted` data (linear interpolation, `q` in `[0,1]`).
+///
+/// Panics if `sorted` is empty or `q` is out of range; callers own the sort.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&q), "quantile level out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_matches_direct_computation() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut r = Running::new();
+        for &x in &data {
+            r.push(x);
+        }
+        assert_eq!(r.count(), 8);
+        assert!((r.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic dataset is 32/7.
+        assert!((r.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(r.min(), 2.0);
+        assert_eq!(r.max(), 9.0);
+    }
+
+    #[test]
+    fn running_empty_and_singleton() {
+        let mut r = Running::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+        r.push(3.0);
+        assert_eq!(r.mean(), 3.0);
+        assert_eq!(r.variance(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_sorted(&data, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&data, 1.0), 4.0);
+        assert!((quantile_sorted(&data, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_proportion() {
+        let (lo, hi) = wilson_interval(8, 10);
+        assert!(lo < 0.8 && 0.8 < hi);
+        assert!(lo > 0.4 && hi < 0.98, "({lo}, {hi})");
+        // Edges stay inside [0, 1] and are non-degenerate.
+        let (lo, hi) = wilson_interval(10, 10);
+        assert!(lo > 0.6 && (hi - 1.0).abs() < 1e-12, "({lo}, {hi})");
+        let (lo, hi) = wilson_interval(0, 10);
+        assert!(lo == 0.0 && hi < 0.35, "({lo}, {hi})");
+        assert_eq!(wilson_interval(0, 0), (0.0, 1.0));
+    }
+
+    #[test]
+    fn wilson_interval_narrows_with_more_trials() {
+        let (l1, h1) = wilson_interval(5, 10);
+        let (l2, h2) = wilson_interval(500, 1000);
+        assert!(h2 - l2 < h1 - l1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_rejects_empty() {
+        let _ = quantile_sorted(&[], 0.5);
+    }
+}

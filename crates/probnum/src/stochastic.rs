@@ -1,0 +1,176 @@
+//! Probability-vector helpers: normalisation, validation and random
+//! initialisation used by the EM algorithms.
+
+use rand::Rng;
+
+/// Tolerance used when checking that probabilities sum to one.
+pub const SUM_TOL: f64 = 1e-9;
+
+/// Normalise `v` in place so that it sums to one.
+///
+/// If the vector sums to zero (or contains only non-finite mass) it is reset
+/// to the uniform distribution — this is the conventional EM guard against
+/// states that receive no posterior mass and keeps the algorithms from
+/// emitting NaNs.
+pub fn normalize(v: &mut [f64]) {
+    let sum: f64 = v.iter().copied().filter(|x| x.is_finite()).sum();
+    if sum > 0.0 && sum.is_finite() {
+        for x in v.iter_mut() {
+            if !x.is_finite() {
+                *x = 0.0;
+            }
+            *x /= sum;
+        }
+    } else if !v.is_empty() {
+        let u = 1.0 / v.len() as f64;
+        v.fill(u);
+    }
+}
+
+/// Return a normalised copy of `v` (see [`normalize`]).
+pub fn normalized(v: &[f64]) -> Vec<f64> {
+    let mut out = v.to_vec();
+    normalize(&mut out);
+    out
+}
+
+/// Does `v` describe a probability distribution (non-negative, sums to 1)?
+pub fn is_distribution(v: &[f64]) -> bool {
+    if v.is_empty() {
+        return false;
+    }
+    if v.iter().any(|&x| !(0.0..=1.0 + SUM_TOL).contains(&x)) {
+        return false;
+    }
+    let sum: f64 = v.iter().sum();
+    (sum - 1.0).abs() <= 1e-6
+}
+
+/// The uniform distribution over `n` outcomes.
+pub fn uniform(n: usize) -> Vec<f64> {
+    assert!(n > 0, "uniform distribution needs at least one outcome");
+    vec![1.0 / n as f64; n]
+}
+
+/// Draw a random probability vector of length `n`.
+///
+/// Each entry is drawn from `U(eps, 1)` and the vector is normalised, so no
+/// entry is exactly zero; EM cannot recover from structurally-zero
+/// probabilities, which makes strictly positive initialisation the right
+/// default for random restarts.
+pub fn random_distribution<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    assert!(n > 0);
+    let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05..1.0)).collect();
+    normalize(&mut v);
+    v
+}
+
+/// Maximum absolute element-wise difference between two equal-length slices.
+///
+/// This is the convergence metric the paper's EM uses (thresholds `1e-4` /
+/// `1e-5`).
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff on unequal lengths");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Sample an index from the discrete distribution `p` using `rng`.
+///
+/// `p` must be a probability vector; the final index is returned if rounding
+/// leaves residual mass.
+pub fn sample_index<R: Rng + ?Sized>(rng: &mut R, p: &[f64]) -> usize {
+    debug_assert!(!p.is_empty());
+    let mut u: f64 = rng.gen();
+    for (i, &pi) in p.iter().enumerate() {
+        if u < pi {
+            return i;
+        }
+        u -= pi;
+    }
+    p.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalize_basic() {
+        let mut v = vec![1.0, 3.0];
+        normalize(&mut v);
+        assert!((v[0] - 0.25).abs() < 1e-12);
+        assert!((v[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_resets_to_uniform() {
+        let mut v = vec![0.0, 0.0, 0.0, 0.0];
+        normalize(&mut v);
+        assert!(is_distribution(&v));
+        assert!((v[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_handles_nan_mass() {
+        let mut v = vec![f64::NAN, 1.0, 1.0];
+        normalize(&mut v);
+        assert!(is_distribution(&v));
+        assert_eq!(v[0], 0.0);
+    }
+
+    #[test]
+    fn uniform_is_distribution() {
+        assert!(is_distribution(&uniform(7)));
+    }
+
+    #[test]
+    fn random_distribution_is_positive() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for n in 1..10 {
+            let v = random_distribution(&mut rng, n);
+            assert!(is_distribution(&v));
+            assert!(v.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn is_distribution_rejects_negative_and_unnormalised() {
+        assert!(!is_distribution(&[]));
+        assert!(!is_distribution(&[0.5, 0.6]));
+        assert!(!is_distribution(&[-0.1, 1.1]));
+        assert!(is_distribution(&[0.2, 0.8]));
+    }
+
+    #[test]
+    fn max_abs_diff_picks_largest() {
+        assert_eq!(max_abs_diff(&[0.0, 1.0], &[0.5, 0.8]), 0.5);
+    }
+
+    #[test]
+    fn sample_index_respects_point_mass() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(sample_index(&mut rng, &[0.0, 1.0, 0.0]), 1);
+        }
+    }
+
+    #[test]
+    fn sample_index_roughly_matches_distribution() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let p = [0.2, 0.5, 0.3];
+        let mut counts = [0usize; 3];
+        let n = 20_000;
+        for _ in 0..n {
+            counts[sample_index(&mut rng, &p)] += 1;
+        }
+        for (c, &pi) in counts.iter().zip(&p) {
+            let freq = *c as f64 / n as f64;
+            assert!((freq - pi).abs() < 0.02, "freq {freq} vs p {pi}");
+        }
+    }
+}

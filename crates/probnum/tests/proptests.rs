@@ -1,0 +1,158 @@
+//! Property-based tests for the probability primitives.
+
+use dcl_probnum::{logspace, stochastic, Cdf, ForwardBackward, Matrix, Pmf};
+use proptest::prelude::*;
+
+fn mass_vec() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..100.0, 1..20).prop_filter("some mass", |v| {
+        v.iter().sum::<f64>() > 1e-9
+    })
+}
+
+fn pmf() -> impl Strategy<Value = Pmf> {
+    mass_vec().prop_map(Pmf::from_mass)
+}
+
+proptest! {
+    #[test]
+    fn normalized_vectors_are_distributions(v in mass_vec()) {
+        let n = stochastic::normalized(&v);
+        prop_assert!(stochastic::is_distribution(&n));
+    }
+
+    #[test]
+    fn pmf_mass_sums_to_one(p in pmf()) {
+        let sum: f64 = p.mass().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one(p in pmf()) {
+        let f = p.cdf();
+        let m = f.num_symbols();
+        let mut prev = 0.0;
+        for d in 1..=m {
+            let v = f.value(d);
+            prop_assert!(v + 1e-12 >= prev, "CDF must be non-decreasing");
+            prev = v;
+        }
+        prop_assert!((f.value(m) - 1.0).abs() < 1e-12);
+        prop_assert_eq!(f.value(m + 7), 1.0);
+    }
+
+    #[test]
+    fn min_support_above_is_consistent(p in pmf(), thr in 0.0f64..0.999) {
+        let f = p.cdf();
+        match f.min_support_above(thr) {
+            Some(d) => {
+                prop_assert!(f.value(d) > thr);
+                prop_assert!(d == 1 || f.value(d - 1) <= thr);
+            }
+            None => prop_assert!(f.value(f.num_symbols()) <= thr),
+        }
+    }
+
+    #[test]
+    fn total_variation_is_a_metric_within_bounds(a in pmf()) {
+        prop_assert!(a.total_variation(&a) < 1e-12);
+        let m = a.num_symbols();
+        let b = Pmf::point(m, 1);
+        let tv = a.total_variation(&b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&tv));
+    }
+
+    #[test]
+    fn connected_components_partition_the_thresholded_support(
+        p in pmf(),
+        floor in 0.0f64..0.2,
+    ) {
+        let comps = p.connected_components(floor);
+        // Components are disjoint, ordered, and cover exactly the bins
+        // above the floor.
+        let mut covered = vec![false; p.num_symbols()];
+        let mut last_end = 0usize;
+        for (a, b, mass) in &comps {
+            prop_assert!(*a >= 1 && *b <= p.num_symbols() && a <= b);
+            prop_assert!(*a > last_end, "components must be ordered/disjoint");
+            last_end = *b;
+            let expect: f64 = (*a..=*b).map(|i| p.prob(i)).sum();
+            prop_assert!((mass - expect).abs() < 1e-9);
+            for i in *a..=*b {
+                covered[i - 1] = true;
+                prop_assert!(p.prob(i) > floor);
+            }
+        }
+        for i in 1..=p.num_symbols() {
+            if !covered[i - 1] {
+                prop_assert!(p.prob(i) <= floor);
+            }
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_bounds(xs in prop::collection::vec(-50.0f64..50.0, 1..30)) {
+        let lse = logspace::log_sum_exp(&xs);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lse >= max - 1e-12);
+        prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-12);
+    }
+
+    #[test]
+    fn sample_index_is_in_range(v in mass_vec(), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let p = stochastic::normalized(&v);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let i = stochastic::sample_index(&mut rng, &p);
+        prop_assert!(i < p.len());
+    }
+}
+
+/// Strategy for a random (init, transition, emissions) triple.
+fn fb_inputs() -> impl Strategy<Value = (Vec<f64>, Matrix, Matrix)> {
+    (2usize..5, 2usize..6, any::<u64>()).prop_map(|(s, t, seed)| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let init = stochastic::random_distribution(&mut rng, s);
+        let trans = Matrix::random_stochastic(&mut rng, s, s);
+        // Emission likelihoods in (0, 1], not normalised over states.
+        let mut emis = Matrix::zeros(t, s);
+        for r in 0..t {
+            for c in 0..s {
+                use rand::Rng;
+                emis.set(r, c, rng.gen_range(0.01..1.0));
+            }
+        }
+        (init, trans, emis)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn forward_backward_gammas_are_distributions((init, trans, emis) in fb_inputs()) {
+        let fb = ForwardBackward::run(&init, &trans, &emis);
+        prop_assert!(fb.log_likelihood.is_finite());
+        for t in 0..fb.len() {
+            let g = fb.gamma(t);
+            prop_assert!(stochastic::is_distribution(&g), "t={t}: {g:?}");
+        }
+    }
+
+    #[test]
+    fn forward_backward_likelihood_below_zero_for_subunit_emissions(
+        (init, trans, emis) in fb_inputs()
+    ) {
+        // Every emission likelihood < 1, so the sequence likelihood < 1.
+        let fb = ForwardBackward::run(&init, &trans, &emis);
+        prop_assert!(fb.log_likelihood < 1e-9);
+    }
+}
+
+/// Regression-style deterministic checks that complement the random ones.
+#[test]
+fn cdf_of_point_mass_is_step() {
+    let f: Cdf = Pmf::point(4, 3).cdf();
+    assert_eq!(f.value(2), 0.0);
+    assert_eq!(f.value(3), 1.0);
+}

@@ -1,0 +1,21 @@
+#!/bin/bash
+# Regenerate every table and figure of the paper (EXPERIMENTS.md).
+#
+#   ./run_experiments.sh              # full campaign (several hours on 1 core)
+#   EXPS="table2 fig5" ./run_experiments.sh   # a subset
+#
+# Output: human-readable logs in target/experiments/logs/<exp>.txt and
+# machine-readable rows in target/experiments/<exp>.jsonl.
+set -u
+cd "$(dirname "$0")"
+LOGS=target/experiments/logs
+mkdir -p "$LOGS"
+EXPS="${EXPS:-table2 fig5 table3 fig6 fig7 table4 fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablation localization}"
+cargo build --release -p dcl-bench || exit 1
+for exp in $EXPS; do
+    echo "=== running $exp ==="
+    start=$(date +%s)
+    "target/release/$exp" > "$LOGS/$exp.txt" 2> "$LOGS/$exp.err" || echo "$exp FAILED"
+    echo "$exp took $(( $(date +%s) - start )) s"
+done
+echo ALL_DONE

@@ -1,0 +1,30 @@
+//! Model-based identification of dominant congested links — a full Rust
+//! reproduction of Wei, Wang, Towsley & Kurose (ACM IMC 2003 / IEEE ToN
+//! 2011).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`identification`] (`dcl-core`) — the paper's method: discretisation,
+//!   virtual-queuing-delay estimation, SDCL/WDCL hypothesis tests, and
+//!   maximum-queuing-delay bounds;
+//! * [`netsim`] — the discrete-event network simulator (ns-2 substitute);
+//! * [`mmhd`] / [`hmm`] — the two statistical models with EM inference;
+//! * [`losspair`] — the loss-pair baseline;
+//! * [`clocksync`] — one-way-delay skew removal;
+//! * [`inet`] — synthetic wide-area measurement paths (PlanetLab
+//!   substitute);
+//! * [`probnum`] — shared probability/numerics utilities.
+//!
+//! See the `examples/` directory for runnable walkthroughs and
+//! `crates/bench/src/bin/` for the per-table/figure experiment harness.
+
+#![forbid(unsafe_code)]
+
+pub use dcl_clocksync as clocksync;
+pub use dcl_core as identification;
+pub use dcl_hmm as hmm;
+pub use dcl_inet as inet;
+pub use dcl_losspair as losspair;
+pub use dcl_mmhd as mmhd;
+pub use dcl_netsim as netsim;
+pub use dcl_probnum as probnum;

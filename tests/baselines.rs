@@ -1,0 +1,104 @@
+//! Integration tests comparing the estimators the paper compares:
+//! model-based (MMHD, HMM) against the loss-pair baseline and the
+//! simulator ground truth.
+
+use dominant_congested_links::identification::discretize::Discretizer;
+use dominant_congested_links::identification::estimators::{
+    GroundTruth, HmmEstimator, LossPairEstimator, MmhdEstimator, VqdEstimator,
+};
+use dominant_congested_links::netsim::probe::ProbePattern;
+use dominant_congested_links::netsim::scenarios::{
+    HopSpec, PathScenario, PathScenarioConfig, TrafficMix, UdpCross,
+};
+use dominant_congested_links::netsim::time::Dur;
+use dominant_congested_links::netsim::ProbeTrace;
+
+fn strongly_cfg(seed: u64, pairs: bool) -> PathScenarioConfig {
+    let congested = TrafficMix {
+        ftp_flows: 4,
+        http_sessions: 2,
+        udp: Some(UdpCross {
+            peak_bps: 3_000_000,
+            mean_on: Dur::from_secs(1.0),
+            mean_off: Dur::from_secs(1.5),
+            pkt_size: 1000,
+        }),
+    };
+    let hops = vec![
+        HopSpec::droptail(10_000_000, 200_000, congested),
+        HopSpec::droptail(100_000_000, 800_000, TrafficMix::none()),
+    ];
+    let mut cfg = PathScenarioConfig::new(hops, seed);
+    cfg.access_bps = 100_000_000;
+    if pairs {
+        cfg.probe_pattern = ProbePattern::Pairs {
+            interval: Dur::from_millis(40.0),
+        };
+    }
+    cfg
+}
+
+fn run(cfg: &PathScenarioConfig, secs: f64) -> ProbeTrace {
+    let mut sc = PathScenario::build(cfg);
+    sc.run(Dur::from_secs(20.0), Dur::from_secs(secs))
+}
+
+#[test]
+fn mmhd_matches_ground_truth_closely_on_strong_dominance() {
+    let trace = run(&strongly_cfg(5, false), 240.0);
+    let disc = Discretizer::from_trace(&trace, 5, None).unwrap();
+    let truth = GroundTruth.estimate(&trace, &disc).unwrap();
+    let mmhd = MmhdEstimator::default().estimate(&trace, &disc).unwrap();
+    let tv = mmhd.total_variation(&truth);
+    assert!(tv < 0.15, "MMHD vs truth total variation {tv}");
+}
+
+#[test]
+fn hmm_is_usable_but_weaker_than_mmhd() {
+    let trace = run(&strongly_cfg(6, false), 240.0);
+    let disc = Discretizer::from_trace(&trace, 5, None).unwrap();
+    let truth = GroundTruth.estimate(&trace, &disc).unwrap();
+    let hmm = HmmEstimator::default().estimate(&trace, &disc).unwrap();
+    // HMM must still put the bulk of the loss mass in the top half of the
+    // alphabet (the paper's Fig. 8 shows it deviating but not collapsing).
+    let f = hmm.cdf();
+    assert!(f.value(2) < 0.5, "HMM loss mass stuck low: {hmm:?}");
+    // And it should generally not beat MMHD against the ground truth.
+    let mmhd = MmhdEstimator::default().estimate(&trace, &disc).unwrap();
+    let tv_hmm = hmm.total_variation(&truth);
+    let tv_mmhd = mmhd.total_variation(&truth);
+    assert!(
+        tv_mmhd <= tv_hmm + 0.1,
+        "MMHD ({tv_mmhd}) should track truth at least as well as HMM ({tv_hmm})"
+    );
+}
+
+#[test]
+fn loss_pairs_estimate_the_dominant_queue_on_pair_traces() {
+    let trace = run(&strongly_cfg(7, true), 240.0);
+    let analysis = dominant_congested_links::losspair::extract(&trace);
+    assert!(
+        !analysis.pairs.is_empty(),
+        "pair probing must yield loss pairs on a lossy path"
+    );
+    let est = analysis
+        .max_queuing_delay_estimate(trace.base_delay)
+        .unwrap();
+    // Q_1 = 160 ms; the loss-pair estimate should land in its vicinity.
+    assert!(
+        est >= Dur::from_millis(90.0) && est <= Dur::from_millis(210.0),
+        "loss-pair estimate {est}"
+    );
+
+    // The estimator trait wrapper agrees with the raw analysis.
+    let disc = Discretizer::from_trace(&trace, 5, None).unwrap();
+    let pmf = LossPairEstimator.estimate(&trace, &disc).unwrap();
+    assert!(pmf.cdf().value(2) < 0.6, "{pmf:?}");
+}
+
+#[test]
+fn loss_pair_estimator_returns_none_on_single_probe_traces() {
+    let trace = run(&strongly_cfg(8, false), 120.0);
+    let disc = Discretizer::from_trace(&trace, 5, None).unwrap();
+    assert!(LossPairEstimator.estimate(&trace, &disc).is_none());
+}

@@ -1,0 +1,117 @@
+//! Cross-crate integration tests: full simulate → probe → identify runs
+//! for each of the paper's three regimes, exercising every workspace crate
+//! through the facade.
+
+use dominant_congested_links::identification::identify::{identify, IdentifyConfig, Verdict};
+use dominant_congested_links::netsim::scenarios::{
+    HopSpec, PathScenario, PathScenarioConfig, TrafficMix, UdpCross,
+};
+use dominant_congested_links::netsim::time::Dur;
+
+fn burst(hop_bps: u64, on: f64, off: f64, peak: f64) -> TrafficMix {
+    TrafficMix {
+        ftp_flows: 0,
+        http_sessions: 2,
+        udp: Some(UdpCross {
+            peak_bps: (hop_bps as f64 * peak) as u64,
+            mean_on: Dur::from_secs(on),
+            mean_off: Dur::from_secs(off),
+            pkt_size: 1000,
+        }),
+    }
+}
+
+fn clean_hop() -> HopSpec {
+    HopSpec::droptail(100_000_000, 800_000, TrafficMix::none())
+}
+
+fn run(hops: Vec<HopSpec>, seed: u64, secs: f64) -> dominant_congested_links::netsim::ProbeTrace {
+    let mut cfg = PathScenarioConfig::new(hops, seed);
+    cfg.access_bps = 100_000_000;
+    let mut sc = PathScenario::build(&cfg);
+    sc.run(Dur::from_secs(20.0), Dur::from_secs(secs))
+}
+
+#[test]
+fn strongly_dominant_link_is_identified() {
+    let congested = TrafficMix {
+        ftp_flows: 4,
+        http_sessions: 2,
+        udp: Some(UdpCross {
+            peak_bps: 3_000_000,
+            mean_on: Dur::from_secs(1.0),
+            mean_off: Dur::from_secs(1.5),
+            pkt_size: 1000,
+        }),
+    };
+    let hops = vec![
+        HopSpec::droptail(10_000_000, 200_000, congested),
+        clean_hop(),
+        clean_hop(),
+    ];
+    let trace = run(hops, 11, 180.0);
+    assert!(trace.loss_rate() > 0.001, "loss {}", trace.loss_rate());
+    // Ground truth: all losses at hop 1 (route index 1).
+    let share = trace.loss_share_by_hop(5);
+    assert!(share[1] > 0.99, "{share:?}");
+
+    let report = identify(&trace, &IdentifyConfig::default()).expect("usable trace");
+    assert_eq!(report.verdict, Verdict::StronglyDominant, "{report:?}");
+    // The bound should land within a factor ~[0.6, 1.3] of Q_1 = 160 ms
+    // (packet-count queues put the lost probes' drain slightly below the
+    // all-data Q_1).
+    let bound = report.bound_heuristic.or(report.bound_basic).unwrap();
+    assert!(
+        bound >= Dur::from_millis(96.0) && bound <= Dur::from_millis(210.0),
+        "bound {bound}"
+    );
+}
+
+#[test]
+fn weakly_dominant_link_is_identified() {
+    let mut hop1 = burst(2_000_000, 1.2, 18.0, 2.2);
+    hop1.ftp_flows = 2;
+    let hops = vec![
+        HopSpec::droptail(2_000_000, 256_000, hop1),
+        HopSpec::droptail(10_000_000, 768_000, TrafficMix::none()),
+        HopSpec::droptail(7_000_000, 256_000, burst(7_000_000, 0.55, 40.0, 1.6)),
+    ];
+    let trace = run(hops, 13, 300.0);
+    let share = trace.loss_share_by_hop(5);
+    assert!(share[1] > 0.9, "hop1 must dominate losses: {share:?}");
+
+    let report = identify(&trace, &IdentifyConfig::default()).expect("usable trace");
+    assert_ne!(report.verdict, Verdict::NoDominant, "{report:?}");
+    assert!(report.wdcl.accepted);
+}
+
+#[test]
+fn no_dominant_link_is_rejected() {
+    let hops = vec![
+        HopSpec::droptail(1_000_000, 256_000, burst(1_000_000, 3.0, 40.0, 2.2)),
+        HopSpec::droptail(10_000_000, 1_280_000, TrafficMix::none()),
+        HopSpec::droptail(3_000_000, 256_000, burst(3_000_000, 1.5, 30.0, 2.2)),
+    ];
+    let trace = run(hops, 17, 400.0);
+    let share = trace.loss_share_by_hop(5);
+    assert!(
+        share[1] > 0.2 && share[3] > 0.2,
+        "both hops must lose: {share:?}"
+    );
+
+    let report = identify(&trace, &IdentifyConfig::default()).expect("usable trace");
+    assert_eq!(report.verdict, Verdict::NoDominant, "{report:?}");
+    assert!(report.bound_basic.is_none(), "no bound without a dominant link");
+}
+
+#[test]
+fn lossless_path_yields_no_losses_error() {
+    let hops = vec![clean_hop(), clean_hop()];
+    let trace = run(hops, 19, 60.0);
+    assert_eq!(trace.loss_count(), 0);
+    let err = identify(&trace, &IdentifyConfig::default()).unwrap_err();
+    assert_eq!(
+        err,
+        dominant_congested_links::identification::IdentifyError::NoLosses
+    );
+}

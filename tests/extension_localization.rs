@@ -1,0 +1,48 @@
+//! Integration test for the localisation extension through the facade:
+//! identify that a dominant congested link exists, then pinpoint it with
+//! prefix probing.
+
+use dominant_congested_links::identification::identify::IdentifyConfig;
+use dominant_congested_links::identification::localize::{localize, SimulatedPrefixProber};
+use dominant_congested_links::netsim::scenarios::{HopSpec, TrafficMix, UdpCross};
+use dominant_congested_links::netsim::time::Dur;
+
+#[test]
+fn localization_finds_the_planted_hop_through_the_facade() {
+    let congested = TrafficMix {
+        ftp_flows: 2,
+        http_sessions: 0,
+        udp: Some(UdpCross {
+            peak_bps: 11_600_000,
+            mean_on: Dur::from_secs(2.0),
+            mean_off: Dur::from_secs(20.0),
+            pkt_size: 1000,
+        }),
+    };
+    let hops: Vec<HopSpec> = (0..5)
+        .map(|i| {
+            if i == 3 {
+                HopSpec::droptail(10_000_000, 200_000, congested.clone())
+            } else {
+                HopSpec::droptail(100_000_000, 800_000, TrafficMix::none())
+            }
+        })
+        .collect();
+    let mut prober = SimulatedPrefixProber::new(
+        hops,
+        100_000_000,
+        91,
+        Dur::from_secs(10.0),
+        Dur::from_secs(90.0),
+    );
+    let result = localize(
+        &mut prober,
+        &IdentifyConfig {
+            estimate_bound: false,
+            ..IdentifyConfig::default()
+        },
+    );
+    assert_eq!(result.hop, Some(3), "observations: {:?}", result.observations.len());
+    // Binary search: full path + at most ceil(log2(5)) prefixes.
+    assert!(result.observations.len() <= 4);
+}
