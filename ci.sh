@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI pipeline for environments with a crates.io registry (or vendored
+# deps). Containers without registry access should run
+# scripts/offline_check.sh instead, which drives rustc directly against
+# the prebuilt rlibs under target/.
+#
+# Jobs:
+#   1. release build + full test suite (default thread resolution);
+#   2. the determinism suite again, pinned to 2 worker threads, to prove
+#      results are independent of the thread count CI happens to have;
+#   3. clippy with warnings denied on the crates this layer touches.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) + tests"
+cargo build --release
+cargo test -q
+
+echo "== determinism suite at 2 worker threads"
+DCL_PARALLELISM=2 RAYON_NUM_THREADS=2 cargo test -q \
+  --test parallel_determinism --test golden_regression
+DCL_PARALLELISM=2 RAYON_NUM_THREADS=2 cargo test -q -p dcl-hmm --test proptests
+DCL_PARALLELISM=2 RAYON_NUM_THREADS=2 cargo test -q -p dcl-mmhd --test proptests
+
+echo "== clippy (deny warnings) on the parallel-layer crates"
+cargo clippy -q -p dcl-parallel -p dcl-probnum -p dcl-hmm -p dcl-mmhd \
+  -p dcl-core -p dcl-bench --all-targets -- -D warnings
+
+echo "CI OK"

@@ -73,6 +73,7 @@ fn bench_mmhd_fit(c: &mut Criterion) {
                     restrict_loss_to_observed: true,
                     empirical_init: true,
                     tied_loss: false,
+                    parallelism: Some(1),
                 },
             )
         })
@@ -80,5 +81,42 @@ fn bench_mmhd_fit(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_mmhd_step, bench_hmm_step, bench_mmhd_fit);
+/// Multi-restart fit, serial vs parallel: the restart loop is the natural
+/// parallel unit (results are bitwise identical at every thread count), so
+/// this pair quantifies the wall-clock win of spreading restarts across
+/// cores. On a single-core host the two are expected to tie.
+fn bench_mmhd_fit_restarts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mmhd_fit_restarts");
+    g.sample_size(10);
+    let obs = synth_obs(5000, 5);
+    let opts = |parallelism| dcl_mmhd::EmOptions {
+        num_hidden: 2,
+        num_symbols: 5,
+        tol: 1e-4,
+        max_iters: 25,
+        seed: 1,
+        restarts: 4,
+        restrict_loss_to_observed: true,
+        empirical_init: false,
+        tied_loss: false,
+        parallelism,
+    };
+    g.bench_function("R4_serial", |b| {
+        let o = opts(Some(1));
+        b.iter(|| dcl_mmhd::fit(&obs, &o))
+    });
+    g.bench_function("R4_parallel", |b| {
+        let o = opts(None);
+        b.iter(|| dcl_mmhd::fit(&obs, &o))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mmhd_step,
+    bench_hmm_step,
+    bench_mmhd_fit,
+    bench_mmhd_fit_restarts
+);
 criterion_main!(benches);

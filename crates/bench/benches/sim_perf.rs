@@ -2,10 +2,13 @@
 //! and the hot queue-path microbenchmarks.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use dcl_core::sweep::{duration_sweep, SweepConfig};
 use dcl_netsim::link::{EnqueueOutcome, Link, LinkConfig};
-use dcl_netsim::packet::{AgentId, LinkId, Packet, Payload};
+use dcl_netsim::packet::{AgentId, LinkId, Packet, Payload, ProbeStamp};
 use dcl_netsim::scenarios::PathScenario;
+use dcl_netsim::sim::ProbeRecord;
 use dcl_netsim::time::{Dur, Time};
+use dcl_netsim::trace::ProbeTrace;
 
 fn bench_scenario(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator");
@@ -56,5 +59,56 @@ fn bench_queue_path(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_scenario, bench_queue_path);
+/// Deterministic trace with losses inside high-delay bursts (a dominant
+/// congested link pattern), long enough for several sweep durations.
+fn sweep_trace(n: usize) -> ProbeTrace {
+    let mut records = Vec::with_capacity(n);
+    for i in 0..n {
+        let sent = Time::from_secs(i as f64 * 0.02);
+        let phase = i % 25;
+        let mut stamp = ProbeStamp::new(i as u64, None, sent);
+        let arrival = if phase == 19 || phase == 21 {
+            stamp.loss_hop = Some(1);
+            None
+        } else if phase >= 17 {
+            Some(sent + Dur::from_millis(165.0 + (phase % 5) as f64 * 5.0))
+        } else {
+            Some(sent + Dur::from_millis(25.0 + ((i * 11) % 100) as f64))
+        };
+        records.push(ProbeRecord { stamp, arrival });
+    }
+    ProbeTrace {
+        records,
+        base_delay: Dur::from_millis(22.0),
+        interval: Dur::from_millis(20.0),
+    }
+}
+
+/// Duration sweep, serial vs parallel: every `(duration, repetition)` cell
+/// is an independent identification, so the sweep is the coarsest-grained
+/// parallel unit in the workspace. Results are bitwise identical at every
+/// thread count; on a single-core host the two are expected to tie.
+fn bench_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("duration_sweep");
+    g.sample_size(10);
+    let trace = sweep_trace(9_000); // 180 s
+    let cfg = |parallelism| SweepConfig {
+        durations_secs: vec![10.0, 30.0, 60.0],
+        repetitions: 6,
+        seed: 0x5EED,
+        parallelism,
+        ..SweepConfig::default()
+    };
+    g.bench_function("serial", |b| {
+        let cfg = cfg(Some(1));
+        b.iter(|| duration_sweep(&trace, &cfg))
+    });
+    g.bench_function("parallel", |b| {
+        let cfg = cfg(None);
+        b.iter(|| duration_sweep(&trace, &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scenario, bench_queue_path, bench_sweep);
 criterion_main!(benches);

@@ -55,6 +55,7 @@ fn main() {
                 known_floor: floor,
                 ..base_cfg
             },
+            parallelism: None,
         };
         let result = duration_sweep(&trace, &sweep_cfg).expect("usable trace");
         if floor.is_none() {

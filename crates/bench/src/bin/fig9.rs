@@ -20,7 +20,7 @@ fn correct_ratio(
     duration_secs: f64,
     reps: usize,
     expect_dominant: bool,
-    rng: &mut SmallRng,
+    seed: u64,
 ) -> f64 {
     let probes = (duration_secs / trace.interval.as_secs()).round() as usize;
     if probes >= trace.len() {
@@ -34,8 +34,12 @@ fn correct_ratio(
         restarts: 2,
         ..IdentifyConfig::default()
     };
-    let mut correct = 0;
-    for _ in 0..reps {
+    // Each repetition derives its segment start from `seed` and its own
+    // index, so the repetitions run on worker threads with the same
+    // result at any thread count.
+    let correct: usize = dcl_parallel::par_map_indexed(None, reps, |rep| {
+        let cell_seed = dcl_parallel::mix64(seed ^ dcl_parallel::mix64(rep as u64));
+        let mut rng = SmallRng::seed_from_u64(cell_seed);
         let start = rng.gen_range(0..trace.len() - probes);
         let segment = trace.segment(start, probes);
         let verdict = match identify(&segment, &cfg) {
@@ -44,10 +48,10 @@ fn correct_ratio(
             // *congested* link; count it as a rejection.
             Err(_) => false,
         };
-        if verdict == expect_dominant {
-            correct += 1;
-        }
-    }
+        usize::from(verdict == expect_dominant)
+    })
+    .into_iter()
+    .sum();
     correct as f64 / reps as f64
 }
 
@@ -66,12 +70,17 @@ fn main() {
         ("(a) weakly dominant", true, weakly_setting(2_000_000, 7_000_000, 0xF19)),
         ("(b) no dominant", false, no_dcl_setting(1_000_000, 3_000_000, 0xF19)),
     ];
-    for (label, expect, setting) in scenarios {
+    for (scenario, (label, expect, setting)) in scenarios.into_iter().enumerate() {
         let (trace, _sc) = setting.run(WARMUP_SECS, base);
-        let mut rng = SmallRng::seed_from_u64(0x919);
         let ratios: Vec<f64> = durations
             .iter()
-            .map(|&d| correct_ratio(&trace, d, reps, expect, &mut rng))
+            .enumerate()
+            .map(|(d, &dur)| {
+                // Distinct seed per (scenario, duration); the repetitions
+                // inside `correct_ratio` derive per-rep seeds from it.
+                let seed = 0x919 ^ ((scenario as u64) << 32) ^ (d as u64);
+                correct_ratio(&trace, dur, reps, expect, seed)
+            })
             .collect();
         print_row(
             label,

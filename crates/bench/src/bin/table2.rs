@@ -38,7 +38,10 @@ fn main() {
         ],
     );
 
-    for hop1_bps in [1_000_000u64, 4_000_000, 7_000_000, 10_000_000] {
+    // The four settings are independent simulate-and-identify pipelines;
+    // run them on worker threads and print/log in setting order.
+    let settings = [1_000_000u64, 4_000_000, 7_000_000, 10_000_000];
+    let rows = dcl_parallel::par_map(None, &settings, |&hop1_bps| {
         let setting = strongly_setting(hop1_bps, 0xDC1);
         let (trace, sc) = setting.run(WARMUP_SECS, measure);
         let report = identify(&trace, &IdentifyConfig::default()).expect("usable trace");
@@ -67,19 +70,16 @@ fn main() {
             Verdict::NoDominant => "none".to_owned(),
         };
         let mmhd_bound = report.bound_heuristic.or(report.bound_basic);
-        print_row(
-            &setting.label,
-            &[
-                format!("{:.2}%", link_loss * 100.0),
-                format!("{:.2}%", trace.loss_rate() * 100.0),
-                verdict.clone(),
-                format!("{q_nominal}"),
-                format!("{actual_q}"),
-                mmhd_bound.map_or("-".into(), |d| format!("{d}")),
-                lp.map_or("-".into(), |d| format!("{d}")),
-            ],
-        );
-        log.record(&json!({
+        let cells = vec![
+            format!("{:.2}%", link_loss * 100.0),
+            format!("{:.2}%", trace.loss_rate() * 100.0),
+            verdict.clone(),
+            format!("{q_nominal}"),
+            format!("{actual_q}"),
+            mmhd_bound.map_or("-".into(), |d| format!("{d}")),
+            lp.map_or("-".into(), |d| format!("{d}")),
+        ];
+        let record = json!({
             "hop1_bps": hop1_bps,
             "link_loss": link_loss,
             "probe_loss": trace.loss_rate(),
@@ -89,7 +89,12 @@ fn main() {
             "mmhd_bound_ms": mmhd_bound.map(|d| d.as_millis()),
             "losspair_ms": lp.map(|d| d.as_millis()),
             "loss_pairs": analysis.pairs.len(),
-        }));
+        });
+        (setting.label, cells, record)
+    });
+    for (label, cells, record) in rows {
+        print_row(&label, &cells);
+        log.record(&record);
     }
     println!("\nrecords: {}", log.path().display());
 }

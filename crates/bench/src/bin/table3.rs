@@ -35,12 +35,15 @@ fn main() {
         ],
     );
 
-    for (b1, b3) in [
+    // Independent simulate-and-identify pipelines: run the grid on worker
+    // threads, print/log in setting order.
+    let settings = [
         (2_000_000u64, 7_000_000u64),
         (2_000_000, 5_000_000),
         (2_500_000, 7_000_000),
         (2_500_000, 5_000_000),
-    ] {
+    ];
+    let rows = dcl_parallel::par_map(None, &settings, |&(b1, b3)| {
         let setting = weakly_setting(b1, b3, 0xDC2);
         let (trace, sc) = setting.run(WARMUP_SECS, measure);
         let report = identify(&trace, &IdentifyConfig::default()).expect("usable trace");
@@ -67,19 +70,16 @@ fn main() {
             Verdict::NoDominant => "none",
         };
         let mmhd_bound = report.bound_heuristic.or(report.bound_basic);
-        print_row(
-            &setting.label,
-            &[
-                format!("{:.2}%", rates[0] * 100.0),
-                format!("{:.2}%", rates[2] * 100.0),
-                format!("{:.1}%", share[loss_hop] * 100.0),
-                verdict.into(),
-                format!("{actual_q}"),
-                mmhd_bound.map_or("-".into(), |d| format!("{d}")),
-                lp.map_or("-".into(), |d| format!("{d}")),
-            ],
-        );
-        log.record(&json!({
+        let cells = vec![
+            format!("{:.2}%", rates[0] * 100.0),
+            format!("{:.2}%", rates[2] * 100.0),
+            format!("{:.1}%", share[loss_hop] * 100.0),
+            verdict.into(),
+            format!("{actual_q}"),
+            mmhd_bound.map_or("-".into(), |d| format!("{d}")),
+            lp.map_or("-".into(), |d| format!("{d}")),
+        ];
+        let record = json!({
             "hop1_bps": b1,
             "hop3_bps": b3,
             "hop1_loss": rates[0],
@@ -90,7 +90,12 @@ fn main() {
             "mmhd_bound_ms": mmhd_bound.map(|d| d.as_millis()),
             "losspair_ms": lp.map(|d| d.as_millis()),
             "f_2dstar": report.wdcl.f_at_2d_star,
-        }));
+        });
+        (setting.label, cells, record)
+    });
+    for (label, cells, record) in rows {
+        print_row(&label, &cells);
+        log.record(&record);
     }
     println!("\nrecords: {}", log.path().display());
 }

@@ -29,12 +29,15 @@ fn main() {
         ],
     );
 
-    for (b1, b3) in [
+    // Independent simulate-and-identify pipelines: run the grid on worker
+    // threads, print/log in setting order.
+    let settings = [
         (1_000_000u64, 3_000_000u64),
         (1_000_000, 4_000_000),
         (1_500_000, 5_000_000),
         (1_500_000, 4_500_000),
-    ] {
+    ];
+    let rows = dcl_parallel::par_map(None, &settings, |&(b1, b3)| {
         let setting = no_dcl_setting(b1, b3, 0xDC4);
         let (trace, sc) = setting.run(WARMUP_SECS, measure);
         let report = identify(&trace, &IdentifyConfig::default()).expect("usable trace");
@@ -45,24 +48,26 @@ fn main() {
             Verdict::WeaklyDominant => "WDCL",
             Verdict::NoDominant => "none",
         };
-        print_row(
-            &setting.label,
-            &[
-                format!("{:.2}%", rates[0] * 100.0),
-                format!("{:.2}%", rates[2] * 100.0),
-                format!("{:.1}%", share[1] * 100.0),
-                format!("{:.3}", report.wdcl.f_at_2d_star),
-                verdict.into(),
-            ],
-        );
-        log.record(&json!({
+        let cells = vec![
+            format!("{:.2}%", rates[0] * 100.0),
+            format!("{:.2}%", rates[2] * 100.0),
+            format!("{:.1}%", share[1] * 100.0),
+            format!("{:.3}", report.wdcl.f_at_2d_star),
+            verdict.into(),
+        ];
+        let record = json!({
             "hop1_bps": b1,
             "hop3_bps": b3,
             "hop1_loss": rates[0],
             "hop3_loss": rates[2],
             "verdict": verdict,
             "f_2dstar": report.wdcl.f_at_2d_star,
-        }));
+        });
+        (setting.label, cells, record)
+    });
+    for (label, cells, record) in rows {
+        print_row(&label, &cells);
+        log.record(&record);
     }
     println!("\nrecords: {}", log.path().display());
 }

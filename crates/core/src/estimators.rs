@@ -71,6 +71,10 @@ pub struct HmmEstimator {
     pub seed: u64,
     /// Random restarts.
     pub restarts: usize,
+    /// Worker threads for the EM restarts (see `dcl_hmm::EmOptions`);
+    /// `None` uses the environment/available cores, `Some(1)` is the exact
+    /// serial path. Results are bitwise identical at every setting.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for HmmEstimator {
@@ -81,6 +85,7 @@ impl Default for HmmEstimator {
             max_iters: 200,
             seed: 1,
             restarts: 1,
+            parallelism: None,
         }
     }
 }
@@ -105,6 +110,7 @@ impl VqdEstimator for HmmEstimator {
                 seed: self.seed,
                 restarts: self.restarts,
                 restrict_loss_to_observed: true,
+                parallelism: self.parallelism,
             },
         );
         fit.model.loss_delay_pmf(&obs)
@@ -131,6 +137,10 @@ pub struct MmhdEstimator {
     /// Tie loss probabilities per symbol (the paper's exact formulation);
     /// `false` (default) unties them across the hidden dimension.
     pub tied_loss: bool,
+    /// Worker threads for the EM restarts (see `dcl_mmhd::EmOptions`);
+    /// `None` uses the environment/available cores, `Some(1)` is the exact
+    /// serial path. Results are bitwise identical at every setting.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for MmhdEstimator {
@@ -143,6 +153,7 @@ impl Default for MmhdEstimator {
             restarts: 6,
             empirical_init: true,
             tied_loss: false,
+            parallelism: None,
         }
     }
 }
@@ -169,6 +180,7 @@ impl VqdEstimator for MmhdEstimator {
                 restrict_loss_to_observed: true,
                 empirical_init: self.empirical_init,
                 tied_loss: self.tied_loss,
+                parallelism: self.parallelism,
             },
         );
         fit.model.loss_delay_pmf(&obs)

@@ -60,6 +60,12 @@ pub struct IdentifyConfig {
     pub seed: u64,
     /// EM random restarts.
     pub restarts: usize,
+    /// Worker threads for the EM restarts. `None` (the default) resolves
+    /// from the `DCL_PARALLELISM` / `RAYON_NUM_THREADS` environment
+    /// variables or the available cores; `Some(1)` pins the exact serial
+    /// path. The identification result is bitwise identical at every
+    /// setting.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for IdentifyConfig {
@@ -76,6 +82,7 @@ impl Default for IdentifyConfig {
             em_max_iters: 200,
             seed: 1,
             restarts: 6,
+            parallelism: None,
         }
     }
 }
@@ -160,6 +167,7 @@ fn make_estimator(cfg: &IdentifyConfig) -> Box<dyn VqdEstimator> {
             max_iters: cfg.em_max_iters,
             seed: cfg.seed,
             restarts: cfg.restarts,
+            parallelism: cfg.parallelism,
             ..MmhdEstimator::default()
         }),
         ModelKind::Hmm { num_states } => Box::new(HmmEstimator {
@@ -168,6 +176,7 @@ fn make_estimator(cfg: &IdentifyConfig) -> Box<dyn VqdEstimator> {
             max_iters: cfg.em_max_iters,
             seed: cfg.seed,
             restarts: cfg.restarts,
+            parallelism: cfg.parallelism,
         }),
     }
 }

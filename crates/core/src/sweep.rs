@@ -19,10 +19,18 @@ pub struct SweepConfig {
     pub durations_secs: Vec<f64>,
     /// Random segments per duration.
     pub repetitions: usize,
-    /// RNG seed for segment selection.
+    /// RNG seed for segment selection. Every `(duration, repetition)` cell
+    /// derives its own segment-start RNG from this seed and its cell
+    /// index, so the sweep result does not depend on evaluation order.
     pub seed: u64,
     /// Identification configuration applied to every segment.
     pub identify: IdentifyConfig,
+    /// Worker threads across the `(duration, repetition)` cells. `None`
+    /// (the default) resolves from the `DCL_PARALLELISM` /
+    /// `RAYON_NUM_THREADS` environment variables or the available cores;
+    /// `Some(1)` pins the exact serial path. The sweep result is bitwise
+    /// identical at every setting.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for SweepConfig {
@@ -35,6 +43,7 @@ impl Default for SweepConfig {
                 estimate_bound: false,
                 ..IdentifyConfig::default()
             },
+            parallelism: None,
         }
     }
 }
@@ -55,7 +64,7 @@ pub struct SweepPoint {
 }
 
 /// Outcome of a sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepResult {
     /// Did the *reference* (full-trace) identification find a dominant
     /// congested link?
@@ -71,44 +80,63 @@ pub struct SweepResult {
 /// as "no dominant link" (there is no evidence of one), exactly as an
 /// operator would treat them.
 ///
+/// Every `(duration, repetition)` cell is independent — it draws its
+/// segment start from a per-cell RNG seeded by `cfg.seed` and the cell
+/// index — so the cells run on [`SweepConfig::parallelism`] worker threads
+/// and the result is bitwise identical at every thread count.
+///
 /// Returns `None` if the full trace itself is unusable.
 pub fn duration_sweep(trace: &ProbeTrace, cfg: &SweepConfig) -> Option<SweepResult> {
     let reference = identify(trace, &cfg.identify).ok()?;
     let reference_dominant = reference.verdict != Verdict::NoDominant;
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut points = Vec::new();
-    for &dur in &cfg.durations_secs {
-        let probes = (dur / trace.interval.as_secs()).round() as usize;
-        if probes == 0 || probes >= trace.len() {
-            continue;
+
+    // Durations that fit in the trace, with their segment lengths.
+    let durations: Vec<(f64, usize)> = cfg
+        .durations_secs
+        .iter()
+        .filter_map(|&dur| {
+            let probes = (dur / trace.interval.as_secs()).round() as usize;
+            (probes > 0 && probes < trace.len()).then_some((dur, probes))
+        })
+        .collect();
+
+    // One work item per (duration, repetition) cell; `(dominant, unusable)`
+    // outcomes come back in cell order.
+    let cells = durations.len() * cfg.repetitions;
+    let outcomes = dcl_parallel::par_map_indexed(cfg.parallelism, cells, |cell| {
+        let (_, probes) = durations[cell / cfg.repetitions];
+        let cell_seed = dcl_parallel::mix64(cfg.seed ^ dcl_parallel::mix64(cell as u64));
+        let mut rng = SmallRng::seed_from_u64(cell_seed);
+        let start = rng.gen_range(0..trace.len() - probes);
+        let segment = trace.segment(start, probes);
+        match identify(&segment, &cfg.identify) {
+            Ok(r) => (r.verdict != Verdict::NoDominant, false),
+            Err(_) => (false, true),
         }
-        let mut matches = 0usize;
-        let mut unusable = 0usize;
-        for _ in 0..cfg.repetitions {
-            let start = rng.gen_range(0..trace.len() - probes);
-            let segment = trace.segment(start, probes);
-            let dominant = match identify(&segment, &cfg.identify) {
-                Ok(r) => r.verdict != Verdict::NoDominant,
-                Err(_) => {
-                    unusable += 1;
-                    false
-                }
-            };
-            if dominant == reference_dominant {
-                matches += 1;
+    });
+
+    let points = durations
+        .iter()
+        .enumerate()
+        .map(|(d, &(dur, _))| {
+            let slice = &outcomes[d * cfg.repetitions..(d + 1) * cfg.repetitions];
+            let matches = slice
+                .iter()
+                .filter(|&&(dominant, _)| dominant == reference_dominant)
+                .count();
+            let unusable = slice.iter().filter(|&&(_, u)| u).count();
+            SweepPoint {
+                duration_secs: dur,
+                match_ratio: matches as f64 / cfg.repetitions as f64,
+                match_ci: dcl_probnum::stats::wilson_interval(
+                    matches as u64,
+                    cfg.repetitions as u64,
+                ),
+                unusable_ratio: unusable as f64 / cfg.repetitions as f64,
+                repetitions: cfg.repetitions,
             }
-        }
-        points.push(SweepPoint {
-            duration_secs: dur,
-            match_ratio: matches as f64 / cfg.repetitions as f64,
-            match_ci: dcl_probnum::stats::wilson_interval(
-                matches as u64,
-                cfg.repetitions as u64,
-            ),
-            unusable_ratio: unusable as f64 / cfg.repetitions as f64,
-            repetitions: cfg.repetitions,
-        });
-    }
+        })
+        .collect();
     Some(SweepResult {
         reference_dominant,
         points,

@@ -13,7 +13,7 @@
 
 use crate::model::Hmm;
 use dcl_probnum::obs::{validate_sequence, Obs};
-use dcl_probnum::{Matrix};
+use dcl_probnum::{ForwardBackward, Matrix};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -41,6 +41,13 @@ pub struct EmOptions {
     /// delay always coincides with delays of (nearly-dropped) delivered
     /// probes, so the restriction is faithful. Defaults to `true`.
     pub restrict_loss_to_observed: bool,
+    /// Worker threads for the random restarts. `None` (the default) uses
+    /// the `DCL_PARALLELISM` / `RAYON_NUM_THREADS` environment variables or
+    /// every available core; `Some(1)` is the exact legacy serial path.
+    /// The fit result is bitwise identical at every setting: each restart
+    /// derives its own RNG from `seed + restart_index` and the best
+    /// likelihood is reduced in restart order.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for EmOptions {
@@ -53,6 +60,7 @@ impl Default for EmOptions {
             seed: 1,
             restarts: 1,
             restrict_loss_to_observed: true,
+            parallelism: None,
         }
     }
 }
@@ -70,13 +78,58 @@ pub struct FitResult {
     pub converged: bool,
 }
 
+/// Reusable per-restart scratch buffers for [`em_step_with`].
+///
+/// One EM iteration needs two `T x N` tables (forward–backward, emission
+/// likelihoods) plus several small per-step vectors; reallocating them
+/// every iteration dominates the allocator traffic of a fit. A scratch is
+/// cheap to create empty and grows to the working-set size on first use.
+/// Every buffer is fully overwritten (or explicitly zeroed) before being
+/// read, so stepping through a scratch is bitwise identical to the
+/// allocating [`em_step`] — the property tests pin that down.
+#[derive(Debug, Clone)]
+pub struct EmScratch {
+    fb: Option<ForwardBackward>,
+    emis: Matrix,
+    gamma: Vec<f64>,
+    xi: Matrix,
+    loss_post: Matrix,
+}
+
+impl Default for EmScratch {
+    fn default() -> Self {
+        EmScratch::new()
+    }
+}
+
+impl EmScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> EmScratch {
+        EmScratch {
+            fb: Some(ForwardBackward::empty()),
+            emis: Matrix::zeros(0, 0),
+            gamma: Vec::new(),
+            xi: Matrix::zeros(0, 0),
+            loss_post: Matrix::zeros(0, 0),
+        }
+    }
+}
+
 /// One EM step: returns the re-estimated model and the log-likelihood of
 /// `obs` under the *input* model.
 pub fn em_step(model: &Hmm, obs: &[Obs]) -> (Hmm, f64) {
+    em_step_with(model, obs, &mut EmScratch::new())
+}
+
+/// [`em_step`] reusing the caller's scratch buffers; numerically (bitwise)
+/// identical to the allocating version.
+pub fn em_step_with(model: &Hmm, obs: &[Obs], scratch: &mut EmScratch) -> (Hmm, f64) {
     let n = model.num_states();
     let m = model.num_symbols();
-    let fb = model.forward_backward(obs);
-    let emis = model.emission_table(obs);
+    model.emission_table_into(obs, &mut scratch.emis);
+    let emis = &scratch.emis;
+    let mut fb = scratch.fb.take().unwrap_or_else(ForwardBackward::empty);
+    fb.run_into(model.initial(), model.transition(), emis);
     let t_len = obs.len();
 
     // Accumulators for the expected counts.
@@ -88,12 +141,19 @@ pub fn em_step(model: &Hmm, obs: &[Obs]) -> (Hmm, f64) {
     let mut sym_total = vec![0.0; m]; // expected occurrences per symbol
 
     // Cache the per-state loss-symbol posterior (model-constant).
-    let loss_post: Vec<Vec<f64>> = (0..n).map(|j| model.loss_symbol_posterior(j)).collect();
+    scratch.loss_post.resize(n, m);
+    for j in 0..n {
+        model.loss_symbol_posterior_into(j, scratch.loss_post.row_mut(j));
+    }
+    let loss_post = &scratch.loss_post;
+    scratch.gamma.resize(n, 0.0);
+    scratch.xi.resize(n, n);
 
     for t in 0..t_len {
-        let gamma = fb.gamma(t);
+        fb.gamma_into(t, &mut scratch.gamma);
+        let gamma = &scratch.gamma;
         if t == 0 {
-            pi_new.copy_from_slice(&gamma);
+            pi_new.copy_from_slice(gamma);
         }
         // Symbol attribution.
         match obs[t] {
@@ -110,8 +170,9 @@ pub fn em_step(model: &Hmm, obs: &[Obs]) -> (Hmm, f64) {
                     if gj == 0.0 {
                         continue;
                     }
+                    let post = loss_post.row(j);
                     for k in 0..m {
-                        let w = gj * loss_post[j][k];
+                        let w = gj * post[k];
                         b_num.set(j, k, b_num.get(j, k) + w);
                         loss_num[k] += w;
                         sym_total[k] += w;
@@ -126,7 +187,10 @@ pub fn em_step(model: &Hmm, obs: &[Obs]) -> (Hmm, f64) {
             let b_next = fb.beta.row(t + 1);
             let e_next = emis.row(t + 1);
             let mut norm = 0.0;
-            let mut xi = Matrix::zeros(n, n);
+            // Rows skipped below (ai == 0) are read by the accumulation
+            // pass, so the scratch matrix must be zeroed every step.
+            let xi = &mut scratch.xi;
+            xi.fill(0.0);
             for i in 0..n {
                 let ai = a_row_base[i];
                 if ai == 0.0 {
@@ -169,13 +233,21 @@ pub fn em_step(model: &Hmm, obs: &[Obs]) -> (Hmm, f64) {
         .collect();
     dcl_probnum::stochastic::normalize(&mut pi_new);
 
+    let log_likelihood = fb.log_likelihood;
+    scratch.fb = Some(fb);
     (
         Hmm::from_parts(pi_new, a_new, b_new, c_new),
-        fb.log_likelihood,
+        log_likelihood,
     )
 }
 
 /// Fit an HMM to `obs` by EM with random restarts.
+///
+/// The restarts are independent — each derives its RNG from
+/// `seed + restart_index` — and run on [`EmOptions::parallelism`] worker
+/// threads. The winner is reduced in restart order with a strict
+/// best-likelihood comparison (ties keep the lowest restart index, NaN
+/// never wins), so the result is bitwise identical at every thread count.
 ///
 /// Panics if the sequence is empty or contains symbols outside
 /// `1..=num_symbols`.
@@ -184,18 +256,22 @@ pub fn fit(obs: &[Obs], opts: &EmOptions) -> FitResult {
     validate_sequence(obs, opts.num_symbols).expect("invalid observation sequence");
     assert!(opts.num_states > 0 && opts.restarts > 0);
 
-    let mut best: Option<FitResult> = None;
-    for r in 0..opts.restarts {
+    let candidates = dcl_parallel::par_map_indexed(opts.parallelism, opts.restarts, |r| {
+        // Pure function of (seed, restart index) — restarts never share a
+        // mutable RNG, so the parallel schedule cannot affect any draw. The
+        // 0x9E37 stride decorrelates nearby restart seeds and matches the
+        // historical serial derivation bit-for-bit.
         let mut rng = SmallRng::seed_from_u64(opts.seed.wrapping_add(r as u64 * 0x9E37));
         let mut model = Hmm::random(opts.num_states, opts.num_symbols, &mut rng);
         if opts.restrict_loss_to_observed {
             apply_loss_restriction(&mut model.c, obs);
         }
+        let mut scratch = EmScratch::new();
         let mut iterations = 0;
         let mut converged = false;
         let mut last_ll = f64::NEG_INFINITY;
         for it in 0..opts.max_iters {
-            let (next, ll) = em_step(&model, obs);
+            let (next, ll) = em_step_with(&model, obs, &mut scratch);
             last_ll = ll;
             iterations = it + 1;
             let delta = next.max_param_diff(&model);
@@ -207,12 +283,16 @@ pub fn fit(obs: &[Obs], opts: &EmOptions) -> FitResult {
         }
         // Likelihood of the final model (one more forward pass).
         let final_ll = model.log_likelihood(obs).max(last_ll);
-        let candidate = FitResult {
+        FitResult {
             model,
             log_likelihood: final_ll,
             iterations,
             converged,
-        };
+        }
+    });
+
+    let mut best: Option<FitResult> = None;
+    for candidate in candidates {
         best = match best {
             None => Some(candidate),
             Some(b) if candidate.log_likelihood > b.log_likelihood => Some(candidate),
@@ -314,6 +394,7 @@ mod tests {
                 seed: 3,
                 restarts: 1,
                 restrict_loss_to_observed: true,
+                parallelism: None,
             },
         );
         // Note: with one state the per-symbol loss split is identifiable

@@ -16,7 +16,7 @@
 mod em;
 mod model;
 
-pub use em::{em_step, fit, EmOptions, FitResult};
+pub use em::{em_step, em_step_with, fit, EmOptions, EmScratch, FitResult};
 pub use model::Hmm;
 
 #[cfg(test)]
@@ -61,6 +61,7 @@ mod tests {
                 seed: 7,
                 restarts: 2,
                 restrict_loss_to_observed: true,
+                parallelism: None,
             },
         );
         assert!(result.log_likelihood.is_finite());

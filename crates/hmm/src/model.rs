@@ -113,14 +113,21 @@ impl Hmm {
 
     /// The `T x N` emission-likelihood matrix for a sequence.
     pub(crate) fn emission_table(&self, obs: &[Obs]) -> Matrix {
+        let mut e = Matrix::zeros(0, 0);
+        self.emission_table_into(obs, &mut e);
+        e
+    }
+
+    /// [`Hmm::emission_table`] into a reusable buffer; every entry is
+    /// overwritten.
+    pub(crate) fn emission_table_into(&self, obs: &[Obs], e: &mut Matrix) {
         let n = self.num_states();
-        let mut e = Matrix::zeros(obs.len(), n);
+        e.resize(obs.len(), n);
         for (t, &o) in obs.iter().enumerate() {
             for j in 0..n {
                 e.set(t, j, self.emission_likelihood(j, o));
             }
         }
-        e
     }
 
     /// Run the scaled forward–backward recursion for `obs`.
@@ -138,15 +145,18 @@ impl Hmm {
     /// Posterior distribution of the delay symbol of a *lost* observation in
     /// state `j`: `P(m | state j, loss) ∝ b_j(m) c_m`.
     pub(crate) fn loss_symbol_posterior(&self, j: usize) -> Vec<f64> {
-        let mut p: Vec<f64> = self
-            .b
-            .row(j)
-            .iter()
-            .zip(&self.c)
-            .map(|(&bm, &cm)| bm * cm)
-            .collect();
-        stochastic::normalize(&mut p);
+        let mut p = vec![0.0; self.num_symbols()];
+        self.loss_symbol_posterior_into(j, &mut p);
         p
+    }
+
+    /// [`Hmm::loss_symbol_posterior`] into a caller-provided buffer of
+    /// length `M`; every entry is overwritten.
+    pub(crate) fn loss_symbol_posterior_into(&self, j: usize, out: &mut [f64]) {
+        for ((o, &bm), &cm) in out.iter_mut().zip(self.b.row(j)).zip(&self.c) {
+            *o = bm * cm;
+        }
+        stochastic::normalize(out);
     }
 
     /// The virtual queuing delay distribution `P(delay symbol | loss)`

@@ -14,7 +14,7 @@
 
 use crate::model::Mmhd;
 use dcl_probnum::obs::{validate_sequence, Obs};
-use dcl_probnum::Matrix;
+use dcl_probnum::{ForwardBackward, Matrix};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -55,6 +55,13 @@ pub struct EmOptions {
     /// on bursty traces. Defaults to `false` (the generalised model); set
     /// `true` to reproduce the paper's exact formulation.
     pub tied_loss: bool,
+    /// Worker threads for the random restarts. `None` (the default) uses
+    /// the `DCL_PARALLELISM` / `RAYON_NUM_THREADS` environment variables or
+    /// every available core; `Some(1)` is the exact legacy serial path.
+    /// The fit result is bitwise identical at every setting: each restart
+    /// derives its own RNG from `seed + restart_index` and the best
+    /// likelihood is reduced in restart order.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for EmOptions {
@@ -69,6 +76,7 @@ impl Default for EmOptions {
             restrict_loss_to_observed: true,
             empirical_init: true,
             tied_loss: false,
+            parallelism: None,
         }
     }
 }
@@ -86,13 +94,57 @@ pub struct FitResult {
     pub converged: bool,
 }
 
+/// Reusable per-restart scratch buffers for [`em_step_with`].
+///
+/// One EM iteration needs two `T x (N*M)` tables (forward–backward,
+/// emission likelihoods) plus several per-step vectors; reallocating them
+/// every iteration dominates the allocator traffic of a fit. Every buffer
+/// is fully overwritten (or explicitly zeroed) before being read, so
+/// stepping through a scratch is bitwise identical to the allocating
+/// [`em_step`] — the property tests pin that down.
+#[derive(Debug, Clone)]
+pub struct EmScratch {
+    fb: Option<ForwardBackward>,
+    emis: Matrix,
+    gamma: Vec<f64>,
+    xi: Matrix,
+    dest: Vec<f64>,
+}
+
+impl Default for EmScratch {
+    fn default() -> Self {
+        EmScratch::new()
+    }
+}
+
+impl EmScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> EmScratch {
+        EmScratch {
+            fb: Some(ForwardBackward::empty()),
+            emis: Matrix::zeros(0, 0),
+            gamma: Vec::new(),
+            xi: Matrix::zeros(0, 0),
+            dest: Vec::new(),
+        }
+    }
+}
+
 /// One EM step: re-estimated model plus the log-likelihood of `obs` under
 /// the *input* model.
 pub fn em_step(model: &Mmhd, obs: &[Obs]) -> (Mmhd, f64) {
+    em_step_with(model, obs, &mut EmScratch::new())
+}
+
+/// [`em_step`] reusing the caller's scratch buffers; numerically (bitwise)
+/// identical to the allocating version.
+pub fn em_step_with(model: &Mmhd, obs: &[Obs], scratch: &mut EmScratch) -> (Mmhd, f64) {
     let s = model.num_states();
     let m = model.num_symbols();
-    let fb = model.forward_backward(obs);
-    let emis = model.emission_table(obs);
+    model.emission_table_into(obs, &mut scratch.emis);
+    let emis = &scratch.emis;
+    let mut fb = scratch.fb.take().unwrap_or_else(ForwardBackward::empty);
+    fb.run_into(model.initial(), model.transition(), emis);
     let t_len = obs.len();
 
     let mut pi_new = vec![0.0; s];
@@ -100,10 +152,15 @@ pub fn em_step(model: &Mmhd, obs: &[Obs]) -> (Mmhd, f64) {
     let mut loss_num = vec![0.0; s]; // expected losses per state
     let mut state_total = vec![0.0; s]; // expected visits per state
 
+    scratch.gamma.resize(s, 0.0);
+    scratch.xi.resize(s, s);
+    scratch.dest.resize(s, 0.0);
+
     for t in 0..t_len {
-        let gamma = fb.gamma(t);
+        fb.gamma_into(t, &mut scratch.gamma);
+        let gamma = &scratch.gamma;
         if t == 0 {
-            pi_new.copy_from_slice(&gamma);
+            pi_new.copy_from_slice(gamma);
         }
         let is_loss = obs[t].is_loss();
         for (x, &g) in gamma.iter().enumerate() {
@@ -118,11 +175,14 @@ pub fn em_step(model: &Mmhd, obs: &[Obs]) -> (Mmhd, f64) {
             let b_next = fb.beta.row(t + 1);
             let e_next = emis.row(t + 1);
             // Pre-weight the destination factor.
-            let mut dest = vec![0.0; s];
+            let dest = &mut scratch.dest;
             for x2 in 0..s {
                 dest[x2] = e_next[x2] * b_next[x2];
             }
-            let mut xi = Matrix::zeros(s, s);
+            // Rows skipped below (ax == 0) are read by the accumulation
+            // pass, so the scratch matrix must be zeroed every step.
+            let xi = &mut scratch.xi;
+            xi.fill(0.0);
             let mut norm = 0.0;
             for x in 0..s {
                 let ax = a_row[x];
@@ -188,10 +248,18 @@ pub fn em_step(model: &Mmhd, obs: &[Obs]) -> (Mmhd, f64) {
 
     let mut next = Mmhd::from_parts_per_state(pi_new, p_new, c_new, model.num_hidden());
     next.set_tied_loss(model.tied_loss());
-    (next, fb.log_likelihood)
+    let log_likelihood = fb.log_likelihood;
+    scratch.fb = Some(fb);
+    (next, log_likelihood)
 }
 
 /// Fit an MMHD to `obs` by EM with random restarts.
+///
+/// The restarts are independent — each derives its RNG from
+/// `seed + restart_index` — and run on [`EmOptions::parallelism`] worker
+/// threads. The winner is reduced in restart order with a strict
+/// best-likelihood comparison (ties keep the lowest restart index, NaN
+/// never wins), so the result is bitwise identical at every thread count.
 ///
 /// Panics if the sequence is empty or contains out-of-alphabet symbols.
 pub fn fit(obs: &[Obs], opts: &EmOptions) -> FitResult {
@@ -199,8 +267,11 @@ pub fn fit(obs: &[Obs], opts: &EmOptions) -> FitResult {
     validate_sequence(obs, opts.num_symbols).expect("invalid observation sequence");
     assert!(opts.num_hidden > 0 && opts.restarts > 0);
 
-    let mut best: Option<FitResult> = None;
-    for r in 0..opts.restarts {
+    let candidates = dcl_parallel::par_map_indexed(opts.parallelism, opts.restarts, |r| {
+        // Pure function of (seed, restart index) — restarts never share a
+        // mutable RNG, so the parallel schedule cannot affect any draw. The
+        // 0x9E37 stride decorrelates nearby restart seeds and matches the
+        // historical serial derivation bit-for-bit.
         let mut rng = SmallRng::seed_from_u64(opts.seed.wrapping_add(r as u64 * 0x9E37));
         let mut model = if opts.empirical_init {
             Mmhd::empirical_init(obs, opts.num_hidden, opts.num_symbols, &mut rng)
@@ -211,10 +282,11 @@ pub fn fit(obs: &[Obs], opts: &EmOptions) -> FitResult {
         if opts.restrict_loss_to_observed {
             apply_loss_restriction(&mut model.c, opts.num_symbols, obs);
         }
+        let mut scratch = EmScratch::new();
         let mut iterations = 0;
         let mut converged = false;
         for it in 0..opts.max_iters {
-            let (next, _ll) = em_step(&model, obs);
+            let (next, _ll) = em_step_with(&model, obs, &mut scratch);
             iterations = it + 1;
             let delta = next.max_param_diff(&model);
             model = next;
@@ -224,12 +296,16 @@ pub fn fit(obs: &[Obs], opts: &EmOptions) -> FitResult {
             }
         }
         let final_ll = model.log_likelihood(obs);
-        let candidate = FitResult {
+        FitResult {
             model,
             log_likelihood: final_ll,
             iterations,
             converged,
-        };
+        }
+    });
+
+    let mut best: Option<FitResult> = None;
+    for candidate in candidates {
         best = match best {
             None => Some(candidate),
             Some(b) if candidate.log_likelihood > b.log_likelihood => Some(candidate),

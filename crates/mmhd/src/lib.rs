@@ -22,7 +22,7 @@
 mod em;
 mod model;
 
-pub use em::{em_step, fit, fit_select, EmOptions, FitResult, SelectionResult};
+pub use em::{em_step, em_step_with, fit, fit_select, EmOptions, EmScratch, FitResult, SelectionResult};
 pub use model::Mmhd;
 
 #[cfg(test)]
@@ -67,6 +67,7 @@ mod tests {
                 restrict_loss_to_observed: true,
                 empirical_init: true,
                 tied_loss: false,
+                parallelism: None,
             },
         );
         let inferred = fit.model.loss_delay_pmf(&obs).expect("losses present");
@@ -108,6 +109,7 @@ mod tests {
                 restrict_loss_to_observed: true,
                 empirical_init: true,
                 tied_loss: true,
+                parallelism: None,
             },
         );
         let inferred = fit.model.loss_delay_pmf(&obs).expect("losses present");
@@ -160,6 +162,7 @@ mod tests {
                 restrict_loss_to_observed: true,
                 empirical_init: true,
                 tied_loss: false,
+                parallelism: None,
             },
         );
         // Empirical bigram estimate of P(1 -> 1).

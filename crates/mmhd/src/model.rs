@@ -248,14 +248,21 @@ impl Mmhd {
 
     /// The `T x (N*M)` emission-likelihood table for a sequence.
     pub(crate) fn emission_table(&self, obs: &[Obs]) -> Matrix {
+        let mut e = Matrix::zeros(0, 0);
+        self.emission_table_into(obs, &mut e);
+        e
+    }
+
+    /// [`Mmhd::emission_table`] into a reusable buffer; every entry is
+    /// overwritten.
+    pub(crate) fn emission_table_into(&self, obs: &[Obs], e: &mut Matrix) {
         let s = self.num_states();
-        let mut e = Matrix::zeros(obs.len(), s);
+        e.resize(obs.len(), s);
         for (t, &o) in obs.iter().enumerate() {
             for x in 0..s {
                 e.set(t, x, self.emission_likelihood(x, o));
             }
         }
-        e
     }
 
     /// Run the scaled forward–backward recursion.

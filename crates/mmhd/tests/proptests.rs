@@ -1,10 +1,25 @@
 //! Property-based tests for the MMHD model and its EM algorithm.
 
-use dcl_mmhd::{em_step, Mmhd};
+use dcl_mmhd::{em_step, em_step_with, EmScratch, Mmhd};
 use dcl_probnum::obs::{validate_sequence, Obs};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// Bitwise model equality: scratch reuse must not change a single ulp.
+fn assert_models_identical(a: &Mmhd, b: &Mmhd) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.initial().len(), b.initial().len());
+    for (x, y) in a.initial().iter().zip(b.initial()) {
+        prop_assert_eq!(x.to_bits(), y.to_bits());
+    }
+    for (x, y) in a.transition().as_slice().iter().zip(b.transition().as_slice()) {
+        prop_assert_eq!(x.to_bits(), y.to_bits());
+    }
+    for (x, y) in a.loss_probs().iter().zip(b.loss_probs()) {
+        prop_assert_eq!(x.to_bits(), y.to_bits());
+    }
+    Ok(())
+}
 
 fn random_model() -> impl Strategy<Value = (Mmhd, u64)> {
     (1usize..3, 2usize..5, any::<u64>()).prop_map(|(n, m, seed)| {
@@ -76,6 +91,32 @@ proptest! {
         prop_assert!(next.loss_probs().iter().all(|&c| (0.0..=1.0).contains(&c)));
     }
 
+    /// A scratch buffer reused across several EM steps (as the parallel
+    /// restart workers do) produces bitwise-identical models and
+    /// likelihoods to the fresh-allocation `em_step`. Exercises both the
+    /// tied and untied loss modes.
+    #[test]
+    fn scratch_reuse_matches_fresh_allocation(
+        (model, seed) in random_model(),
+        tie in any::<bool>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5C7A);
+        let obs = model.generate(&mut rng, 250);
+        let mut start = model.clone();
+        start.set_tied_loss(tie);
+        let mut scratch = EmScratch::new();
+        let mut fresh = start.clone();
+        let mut reused = start;
+        for _ in 0..4 {
+            let (f, ll_f) = em_step(&fresh, &obs);
+            let (r, ll_r) = em_step_with(&reused, &obs, &mut scratch);
+            prop_assert_eq!(ll_f.to_bits(), ll_r.to_bits());
+            assert_models_identical(&f, &r)?;
+            fresh = f;
+            reused = r;
+        }
+    }
+
     #[test]
     fn empirical_init_produces_a_valid_model(
         (model, seed) in random_model(),
@@ -97,5 +138,39 @@ proptest! {
         let (next, ll) = em_step(&init, &obs);
         prop_assert!(ll.is_finite());
         prop_assert!(next.transition().is_row_stochastic());
+    }
+}
+
+/// Edge cases for scratch reuse: sequences at the extremes of the loss
+/// process, where whole branches of the E-step vanish. A scratch buffer
+/// whose stale entries leaked through would diverge here first.
+#[test]
+fn scratch_reuse_handles_all_loss_and_loss_free_sequences() {
+    let mut rng = SmallRng::seed_from_u64(0x5C7A);
+    let model = Mmhd::random(2, 3, &mut rng);
+    let all_loss = vec![Obs::Loss; 40];
+    let loss_free: Vec<Obs> = (0..40).map(|i| Obs::Sym(1 + (i % 3) as u16)).collect();
+
+    // One scratch across both sequences: the second run must not see the
+    // first run's buffers.
+    let mut scratch = EmScratch::new();
+    for obs in [&all_loss, &loss_free] {
+        let mut fresh = model.clone();
+        let mut reused = model.clone();
+        for _ in 0..3 {
+            let (f, ll_f) = em_step(&fresh, obs);
+            let (r, ll_r) = em_step_with(&reused, obs, &mut scratch);
+            assert_eq!(ll_f.to_bits(), ll_r.to_bits());
+            assert_eq!(
+                f.transition().as_slice(),
+                r.transition().as_slice(),
+                "transition diverged on {} sequence",
+                if obs[0].is_loss() { "all-loss" } else { "loss-free" }
+            );
+            assert_eq!(f.loss_probs(), r.loss_probs());
+            assert_eq!(f.initial(), r.initial());
+            fresh = f;
+            reused = r;
+        }
     }
 }

@@ -28,6 +28,18 @@ pub struct ForwardBackward {
 }
 
 impl ForwardBackward {
+    /// An empty recursion output, usable as a reusable scratch target for
+    /// [`ForwardBackward::run_into`]. Querying it before a run is a shape
+    /// error on the caller's part.
+    pub fn empty() -> ForwardBackward {
+        ForwardBackward {
+            alpha: Matrix::zeros(0, 0),
+            beta: Matrix::zeros(0, 0),
+            scales: Vec::new(),
+            log_likelihood: 0.0,
+        }
+    }
+
     /// Run the recursion.
     ///
     /// * `init` — initial distribution (length `S`);
@@ -41,6 +53,20 @@ impl ForwardBackward {
     /// log-likelihood saturates at `-inf` — callers should treat that as a
     /// degenerate model, not a crash.
     pub fn run(init: &[f64], trans: &Matrix, emis: &Matrix) -> ForwardBackward {
+        let mut fb = ForwardBackward::empty();
+        fb.run_into(init, trans, emis);
+        fb
+    }
+
+    /// [`ForwardBackward::run`] writing into `self`, reusing its buffers.
+    ///
+    /// The hot EM loops call the recursion once per iteration over tables
+    /// of `T x S` doubles; recomputing in place removes the dominant
+    /// allocation from every `em_step`. Every entry of `alpha`, `beta` and
+    /// `scales` is overwritten, so the results are bitwise identical to a
+    /// fresh [`ForwardBackward::run`] — a property the determinism suite
+    /// pins down.
+    pub fn run_into(&mut self, init: &[f64], trans: &Matrix, emis: &Matrix) {
         let s = init.len();
         let t_len = emis.rows();
         assert!(t_len > 0, "empty observation sequence");
@@ -48,8 +74,10 @@ impl ForwardBackward {
         assert_eq!(trans.cols(), s);
         assert_eq!(emis.cols(), s);
 
-        let mut alpha = Matrix::zeros(t_len, s);
-        let mut scales = vec![0.0; t_len];
+        let alpha = &mut self.alpha;
+        alpha.resize(t_len, s);
+        let scales = &mut self.scales;
+        scales.resize(t_len, 0.0);
         let mut log_likelihood = 0.0;
 
         // Forward.
@@ -63,7 +91,7 @@ impl ForwardBackward {
         for t in 0..t_len {
             if t > 0 {
                 // alpha_t(j) = sum_i alpha_{t-1}(i) a(i,j) * e_t(j)
-                let (prev, cur) = alpha_rows_mut(&mut alpha, t);
+                let (prev, cur) = alpha_rows_mut(alpha, t);
                 let e = emis.row(t);
                 for x in cur.iter_mut() {
                     *x = 0.0;
@@ -104,13 +132,14 @@ impl ForwardBackward {
         // Backward, scaled by the forward factors so that
         // gamma_t(j) ~ alpha_t(j) * beta_t(j) without further normalisation
         // beyond a per-row sum.
-        let mut beta = Matrix::zeros(t_len, s);
+        let beta = &mut self.beta;
+        beta.resize(t_len, s);
         for x in beta.row_mut(t_len - 1).iter_mut() {
             *x = 1.0;
         }
+        let mut weighted = vec![0.0; s];
         for t in (0..t_len - 1).rev() {
             let e = emis.row(t + 1);
-            let mut weighted = vec![0.0; s];
             {
                 let next = beta.row(t + 1);
                 for j in 0..s {
@@ -128,22 +157,26 @@ impl ForwardBackward {
             }
         }
 
-        ForwardBackward {
-            alpha,
-            beta,
-            scales,
-            log_likelihood,
-        }
+        self.log_likelihood = log_likelihood;
     }
 
     /// Smoothed state posterior at step `t` (normalised product of the
     /// scaled alpha and beta rows).
     pub fn gamma(&self, t: usize) -> Vec<f64> {
+        let mut g = vec![0.0; self.alpha.cols()];
+        self.gamma_into(t, &mut g);
+        g
+    }
+
+    /// [`ForwardBackward::gamma`] into a caller-provided buffer of length
+    /// `S`, for loops that query the posterior at every step.
+    pub fn gamma_into(&self, t: usize, out: &mut [f64]) {
         let a = self.alpha.row(t);
         let b = self.beta.row(t);
-        let mut g: Vec<f64> = a.iter().zip(b).map(|(x, y)| x * y).collect();
-        crate::stochastic::normalize(&mut g);
-        g
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = x * y;
+        }
+        crate::stochastic::normalize(out);
     }
 
     /// Number of steps.

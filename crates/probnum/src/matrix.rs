@@ -108,6 +108,21 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Reshape to `rows x cols`, reusing the existing allocation where
+    /// possible. Entries are **not** cleared; callers that reuse a matrix
+    /// as scratch must overwrite (or [`Matrix::fill`]) every entry they
+    /// read.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Set every entry to `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
     /// Normalise each row to sum to one (rows with zero mass become uniform).
     pub fn normalize_rows(&mut self) {
         for r in 0..self.rows {

@@ -1,0 +1,158 @@
+#!/usr/bin/env bash
+# Offline build + test driver for containers without a crates.io mirror.
+#
+# The workspace's third-party dependencies (rand, serde, proptest,
+# criterion, ...) are present only as prebuilt rlibs under target/, so
+# `cargo build` cannot resolve the dependency graph offline. This script
+# compiles the workspace crates and their test targets directly with rustc
+# against those rlibs and runs every test binary. CI environments with
+# registry access should use ci.sh (plain cargo) instead.
+#
+# Usage: scripts/offline_check.sh [build|test|all]  (default: all)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-all}"
+DREL=target/release/deps
+DDBG=target/debug/deps
+OUT=target/offline
+mkdir -p "$OUT"
+
+# Pinned third-party rlibs (a mutually consistent set).
+RAND=$DREL/librand-38548fc4b0cc48c0.rlib
+RAND_DISTR=$DREL/librand_distr-3cc0121bba7d8daf.rlib
+SERDE=$DREL/libserde-f43cb8d7a11270f8.rlib
+SERDE_JSON=$DREL/libserde_json-41a2d9df62ef3141.rlib
+CRITERION=$DREL/libcriterion-9dcf338883deb2b8.rlib
+PROPTEST=$DDBG/libproptest-a4bc3a48b7d5576d.rlib
+
+RUSTC_FLAGS=(--edition 2021 -C opt-level=2 -C debug-assertions=on -L "$DREL" -L "$DDBG" -L "$OUT")
+
+ext() { echo "--extern $1=$2"; }
+
+E_RAND=$(ext rand "$RAND")
+E_DISTR=$(ext rand_distr "$RAND_DISTR")
+E_SERDE=$(ext serde "$SERDE")
+E_JSON=$(ext serde_json "$SERDE_JSON")
+E_PROPTEST=$(ext proptest "$PROPTEST")
+E_CRITERION=$(ext criterion "$CRITERION")
+
+lib() { # lib <crate_name> <src> <externs...>
+  local name="$1" src="$2"; shift 2
+  echo "  lib $name"
+  rustc "${RUSTC_FLAGS[@]}" --crate-type rlib --crate-name "$name" "$src" \
+    -o "$OUT/lib$name.rlib" "$@"
+}
+
+tbin() { # tbin <out_name> <src> <externs...>
+  local name="$1" src="$2"; shift 2
+  [ -f "$src" ] || { echo "  test-bin $name (skipped: $src missing)"; return 0; }
+  echo "  test-bin $name"
+  rustc "${RUSTC_FLAGS[@]}" --test --crate-name "$name" "$src" \
+    -o "$OUT/$name" "$@"
+}
+
+# Workspace crate externs, in dependency order.
+E_PROBNUM="--extern dcl_probnum=$OUT/libdcl_probnum.rlib"
+E_PARALLEL="--extern dcl_parallel=$OUT/libdcl_parallel.rlib"
+E_NETSIM="--extern dcl_netsim=$OUT/libdcl_netsim.rlib"
+E_HMM="--extern dcl_hmm=$OUT/libdcl_hmm.rlib"
+E_MMHD="--extern dcl_mmhd=$OUT/libdcl_mmhd.rlib"
+E_LOSSPAIR="--extern dcl_losspair=$OUT/libdcl_losspair.rlib"
+E_CLOCKSYNC="--extern dcl_clocksync=$OUT/libdcl_clocksync.rlib"
+E_INET="--extern dcl_inet=$OUT/libdcl_inet.rlib"
+E_CORE="--extern dcl_core=$OUT/libdcl_core.rlib"
+E_BENCH="--extern dcl_bench=$OUT/libdcl_bench.rlib"
+E_FACADE="--extern dominant_congested_links=$OUT/libdominant_congested_links.rlib"
+
+build_libs() {
+  echo "== building workspace rlibs"
+  lib dcl_probnum crates/probnum/src/lib.rs $E_RAND $E_SERDE
+  lib dcl_parallel crates/parallel/src/lib.rs
+  lib dcl_netsim crates/netsim/src/lib.rs $E_PROBNUM $E_RAND $E_DISTR $E_SERDE
+  lib dcl_hmm crates/hmm/src/lib.rs $E_PROBNUM $E_PARALLEL $E_RAND $E_SERDE
+  lib dcl_mmhd crates/mmhd/src/lib.rs $E_PROBNUM $E_PARALLEL $E_RAND $E_SERDE
+  lib dcl_losspair crates/losspair/src/lib.rs $E_PROBNUM $E_NETSIM $E_SERDE
+  lib dcl_clocksync crates/clocksync/src/lib.rs $E_SERDE
+  lib dcl_inet crates/inet/src/lib.rs $E_PROBNUM $E_NETSIM $E_CLOCKSYNC $E_RAND $E_DISTR $E_SERDE
+  lib dcl_core crates/core/src/lib.rs $E_PROBNUM $E_PARALLEL $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_RAND $E_SERDE
+  lib dcl_bench crates/bench/src/lib.rs $E_PROBNUM $E_PARALLEL $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_CLOCKSYNC $E_INET $E_CORE $E_RAND $E_SERDE $E_JSON
+  lib dominant_congested_links src/lib.rs $E_PROBNUM $E_PARALLEL $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_CLOCKSYNC $E_INET $E_CORE $E_RAND $E_JSON
+}
+
+build_tests() {
+  echo "== building test binaries"
+  # Unit tests (lib targets compiled with --test).
+  tbin ut_probnum crates/probnum/src/lib.rs $E_RAND $E_SERDE $E_PROPTEST
+  tbin ut_parallel crates/parallel/src/lib.rs
+  tbin ut_netsim crates/netsim/src/lib.rs $E_PROBNUM $E_RAND $E_DISTR $E_SERDE
+  tbin ut_hmm crates/hmm/src/lib.rs $E_PROBNUM $E_PARALLEL $E_RAND $E_SERDE
+  tbin ut_mmhd crates/mmhd/src/lib.rs $E_PROBNUM $E_PARALLEL $E_RAND $E_SERDE
+  tbin ut_losspair crates/losspair/src/lib.rs $E_PROBNUM $E_NETSIM $E_SERDE
+  tbin ut_clocksync crates/clocksync/src/lib.rs $E_SERDE
+  tbin ut_inet crates/inet/src/lib.rs $E_PROBNUM $E_NETSIM $E_CLOCKSYNC $E_RAND $E_DISTR $E_SERDE
+  tbin ut_core crates/core/src/lib.rs $E_PROBNUM $E_PARALLEL $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_RAND $E_SERDE
+  tbin ut_bench crates/bench/src/lib.rs $E_PROBNUM $E_PARALLEL $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_CLOCKSYNC $E_INET $E_CORE $E_RAND $E_SERDE $E_JSON
+
+  # Integration tests.
+  tbin it_probnum_prop crates/probnum/tests/proptests.rs $E_PROBNUM $E_RAND $E_PROPTEST
+  tbin it_netsim_prop crates/netsim/tests/proptests.rs $E_NETSIM $E_PROBNUM $E_RAND $E_PROPTEST
+  tbin it_hmm_prop crates/hmm/tests/proptests.rs $E_HMM $E_MMHD $E_PROBNUM $E_RAND $E_PROPTEST
+  tbin it_mmhd_prop crates/mmhd/tests/proptests.rs $E_MMHD $E_PROBNUM $E_RAND $E_PROPTEST
+  tbin it_losspair_prop crates/losspair/tests/proptests.rs $E_LOSSPAIR $E_NETSIM $E_PROBNUM $E_RAND $E_PROPTEST
+  tbin it_clocksync_prop crates/clocksync/tests/proptests.rs $E_CLOCKSYNC $E_RAND $E_PROPTEST
+  tbin it_inet_pipeline crates/inet/tests/pipeline.rs $E_INET $E_NETSIM $E_CLOCKSYNC $E_PROBNUM $E_RAND $E_PROPTEST
+  tbin it_core_prop crates/core/tests/proptests.rs $E_CORE $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_PROBNUM $E_RAND $E_PROPTEST
+
+  # Facade integration tests.
+  local FACADE_EXT="$E_FACADE $E_PROBNUM $E_PARALLEL $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_CLOCKSYNC $E_INET $E_CORE $E_RAND $E_JSON"
+  tbin it_end_to_end tests/end_to_end.rs $FACADE_EXT
+  tbin it_baselines tests/baselines.rs $FACADE_EXT
+  tbin it_clock_pipeline tests/clock_pipeline.rs $FACADE_EXT
+  tbin it_ext_localization tests/extension_localization.rs $FACADE_EXT
+  tbin it_parallel_determinism tests/parallel_determinism.rs $FACADE_EXT
+  tbin it_golden_regression tests/golden_regression.rs $FACADE_EXT $E_BENCH $E_SERDE
+}
+
+build_bins() {
+  echo "== compile-checking bench bins and benches"
+  local BIN_EXT="$E_BENCH $E_CORE $E_INET $E_NETSIM $E_LOSSPAIR $E_CLOCKSYNC $E_HMM $E_MMHD $E_PROBNUM $E_PARALLEL $E_RAND $E_DISTR $E_SERDE $E_JSON"
+  for src in crates/bench/src/bin/*.rs; do
+    local name
+    name=$(basename "$src" .rs)
+    echo "  bin $name"
+    rustc "${RUSTC_FLAGS[@]}" --crate-type bin --crate-name "$name" "$src" \
+      -o "$OUT/bin_$name" $BIN_EXT
+  done
+  for src in crates/bench/benches/*.rs; do
+    local name
+    name=$(basename "$src" .rs)
+    echo "  bench $name"
+    rustc "${RUSTC_FLAGS[@]}" --emit=metadata --crate-type bin --crate-name "bench_$name" "$src" \
+      -o "$OUT/bench_$name.rmeta" $BIN_EXT $E_CRITERION
+  done
+}
+
+run_tests() {
+  echo "== running tests"
+  local failed=0
+  for t in ut_probnum ut_parallel ut_netsim ut_hmm ut_mmhd ut_losspair ut_clocksync \
+           ut_inet ut_core ut_bench it_probnum_prop it_netsim_prop it_hmm_prop \
+           it_mmhd_prop it_losspair_prop it_clocksync_prop it_inet_pipeline \
+           it_core_prop it_end_to_end it_baselines it_clock_pipeline \
+           it_ext_localization it_parallel_determinism it_golden_regression; do
+    [ -x "$OUT/$t" ] || continue
+    echo "-- $t"
+    if ! "$OUT/$t" -q; then failed=1; fi
+  done
+  return $failed
+}
+
+case "$MODE" in
+  build) build_libs ;;
+  bins) build_bins ;;
+  test) build_tests; run_tests ;;
+  all) build_libs; build_bins; build_tests; run_tests ;;
+  *) echo "usage: $0 [build|bins|test|all]" >&2; exit 2 ;;
+esac

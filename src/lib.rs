@@ -13,7 +13,9 @@
 //! * [`clocksync`] — one-way-delay skew removal;
 //! * [`inet`] — synthetic wide-area measurement paths (PlanetLab
 //!   substitute);
-//! * [`probnum`] — shared probability/numerics utilities.
+//! * [`probnum`] — shared probability/numerics utilities;
+//! * [`parallel`] — the deterministic fork-join execution layer behind the
+//!   EM restart, duration-sweep and scenario-grid parallelism.
 //!
 //! See the `examples/` directory for runnable walkthroughs and
 //! `crates/bench/src/bin/` for the per-table/figure experiment harness.
@@ -27,4 +29,5 @@ pub use dcl_inet as inet;
 pub use dcl_losspair as losspair;
 pub use dcl_mmhd as mmhd;
 pub use dcl_netsim as netsim;
+pub use dcl_parallel as parallel;
 pub use dcl_probnum as probnum;

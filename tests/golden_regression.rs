@@ -1,0 +1,162 @@
+//! Golden regression fixtures: canonical end-to-end outputs captured from
+//! fixed seeds and committed under `tests/golden/`. Every run replays the
+//! pipeline and compares against the stored JSON *exactly* — verdicts by
+//! string, floats by round-tripped value — so any behavioural drift in the
+//! simulator, the EM fitters, the hypothesis tests, or the parallel
+//! execution layer shows up as a diff against a reviewed artefact.
+//!
+//! To regenerate after an intentional behaviour change:
+//!
+//! ```text
+//! DCL_REGEN_GOLDEN=1 cargo test --test golden_regression
+//! ```
+//!
+//! and commit the updated fixtures with the change that motivated them.
+
+use dcl_bench::{strongly_setting, WARMUP_SECS};
+use dominant_congested_links::identification::identify::{identify, IdentifyConfig, Verdict};
+use dominant_congested_links::identification::sweep::{duration_sweep, SweepConfig};
+use dominant_congested_links::netsim::packet::ProbeStamp;
+use dominant_congested_links::netsim::sim::ProbeRecord;
+use dominant_congested_links::netsim::time::{Dur, Time};
+use dominant_congested_links::netsim::ProbeTrace;
+use serde_json::{json, Value};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Fixture location, relative to the workspace root (both `cargo test`
+/// and the offline driver run test binaries from there).
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new("tests/golden").join(name)
+}
+
+fn regenerating() -> bool {
+    std::env::var_os("DCL_REGEN_GOLDEN").is_some()
+}
+
+/// Map every JSON number onto its `f64` value, recursively. The JSON
+/// text round-trip parses a serialised whole float (`1.0` → `1`) back as
+/// an integer, so a structural comparison must not distinguish the two.
+/// Every numeric field in the fixtures is exactly representable as `f64`,
+/// so the mapping is lossless and the comparison stays exact.
+fn canon(v: &Value) -> Value {
+    match v {
+        Value::Number(n) => json!(n.as_f64()),
+        Value::Array(items) => Value::Array(items.iter().map(canon).collect()),
+        Value::Object(map) => Value::Object(
+            map.iter()
+                .map(|(k, v)| (k.clone(), canon(v)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Compare `actual` against the committed fixture, or rewrite the fixture
+/// when `DCL_REGEN_GOLDEN` is set.
+fn check_fixture(name: &str, actual: &Value) {
+    let path = fixture_path(name);
+    if regenerating() {
+        fs::write(&path, serde_json::to_string_pretty(actual).unwrap() + "\n")
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let stored = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run with DCL_REGEN_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    let expected: Value = serde_json::from_str(&stored).expect("fixture is valid JSON");
+    assert_eq!(
+        canon(actual),
+        canon(&expected),
+        "golden fixture {name} drifted; if the change is intentional, \
+         regenerate with DCL_REGEN_GOLDEN=1 and commit the diff"
+    );
+}
+
+/// Table II at a reduced measurement length: the strongly-dominant
+/// bandwidth grid must keep producing the committed verdict vector and
+/// per-setting probe loss rates.
+#[test]
+fn table2_verdict_vector_matches_golden() {
+    let measure = 40.0; // reduced from the paper's 300 s to keep CI fast
+    let cfg = IdentifyConfig {
+        estimate_bound: false,
+        restarts: 2,
+        ..IdentifyConfig::default()
+    };
+    let settings = [1_000_000u64, 4_000_000, 7_000_000, 10_000_000];
+    let rows: Vec<Value> = settings
+        .iter()
+        .map(|&hop1_bps| {
+            let setting = strongly_setting(hop1_bps, 0xDC1);
+            let (trace, _sc) = setting.run(WARMUP_SECS, measure);
+            let verdict = match identify(&trace, &cfg) {
+                Ok(r) => match r.verdict {
+                    Verdict::StronglyDominant => "SDCL",
+                    Verdict::WeaklyDominant => "WDCL",
+                    Verdict::NoDominant => "none",
+                },
+                Err(_) => "unusable",
+            };
+            json!({
+                "hop1_bps": hop1_bps,
+                "probe_loss": trace.loss_rate(),
+                "verdict": verdict,
+            })
+        })
+        .collect();
+    check_fixture(
+        "table2_verdicts.json",
+        &json!({ "measure_secs": measure, "rows": rows }),
+    );
+}
+
+/// Deterministic trace with losses inside high-delay bursts (a dominant
+/// congested link pattern).
+fn dominant_trace(n: usize) -> ProbeTrace {
+    let mut records = Vec::with_capacity(n);
+    for i in 0..n {
+        let sent = Time::from_secs(i as f64 * 0.02);
+        let phase = i % 25;
+        let mut stamp = ProbeStamp::new(i as u64, None, sent);
+        let arrival = if phase == 19 || phase == 21 {
+            stamp.loss_hop = Some(1);
+            None
+        } else if phase >= 17 {
+            Some(sent + Dur::from_millis(165.0 + (phase % 5) as f64 * 5.0))
+        } else {
+            Some(sent + Dur::from_millis(25.0 + ((i * 11) % 100) as f64))
+        };
+        records.push(ProbeRecord { stamp, arrival });
+    }
+    ProbeTrace {
+        records,
+        base_delay: Dur::from_millis(22.0),
+        interval: Dur::from_millis(20.0),
+    }
+}
+
+/// A full `SweepResult` from a fixed seed on a deterministic trace —
+/// match ratios, Wilson intervals, unusable ratios and all.
+#[test]
+fn duration_sweep_matches_golden() {
+    let trace = dominant_trace(9_000); // 180 s
+    let cfg = SweepConfig {
+        durations_secs: vec![10.0, 30.0, 60.0],
+        repetitions: 8,
+        seed: 0x601D,
+        identify: IdentifyConfig {
+            estimate_bound: false,
+            restarts: 2,
+            ..IdentifyConfig::default()
+        },
+        parallelism: None,
+    };
+    let result = duration_sweep(&trace, &cfg).expect("usable trace");
+    let actual = serde_json::to_value(&result).expect("SweepResult serialises");
+    check_fixture("sweep_result.json", &actual);
+}

@@ -1,0 +1,194 @@
+//! Determinism guarantees of the parallel execution layer: every parallel
+//! entry point — HMM fit, MMHD fit, duration sweep — must produce
+//! *bitwise-identical* results at parallelism 1, 2, and the machine
+//! default. Equality is checked on `f64::to_bits`, not with tolerances:
+//! the parallel layer distributes work but must never change a single
+//! floating-point operation.
+
+use dominant_congested_links::identification::identify::IdentifyConfig;
+use dominant_congested_links::identification::sweep::{duration_sweep, SweepConfig, SweepResult};
+use dominant_congested_links::netsim::packet::ProbeStamp;
+use dominant_congested_links::netsim::sim::ProbeRecord;
+use dominant_congested_links::netsim::time::{Dur, Time};
+use dominant_congested_links::netsim::ProbeTrace;
+use dominant_congested_links::probnum::Obs;
+use dominant_congested_links::{hmm, mmhd};
+
+/// Thread counts every guarantee is checked across: the exact serial
+/// path, a fixed small pool, and whatever this machine resolves to.
+const PARALLELISMS: [Option<usize>; 3] = [Some(1), Some(2), None];
+
+/// Synthetic observation sequence with bursty high-delay/loss episodes.
+fn synth_obs(t: usize, m: usize) -> Vec<Obs> {
+    (0..t)
+        .map(|i| {
+            let phase = i % 50;
+            if phase == 40 {
+                Obs::Loss
+            } else if phase > 35 {
+                Obs::Sym(m as u16)
+            } else {
+                Obs::Sym(1 + ((i * 7) % (m - 1)) as u16)
+            }
+        })
+        .collect()
+}
+
+/// Deterministic trace with losses inside high-delay bursts (a dominant
+/// congested link pattern).
+fn dominant_trace(n: usize) -> ProbeTrace {
+    let mut records = Vec::with_capacity(n);
+    for i in 0..n {
+        let sent = Time::from_secs(i as f64 * 0.02);
+        let phase = i % 25;
+        let mut stamp = ProbeStamp::new(i as u64, None, sent);
+        let arrival = if phase == 19 || phase == 21 {
+            stamp.loss_hop = Some(1);
+            None
+        } else if phase >= 17 {
+            Some(sent + Dur::from_millis(165.0 + (phase % 5) as f64 * 5.0))
+        } else {
+            Some(sent + Dur::from_millis(25.0 + ((i * 11) % 100) as f64))
+        };
+        records.push(ProbeRecord { stamp, arrival });
+    }
+    ProbeTrace {
+        records,
+        base_delay: Dur::from_millis(22.0),
+        interval: Dur::from_millis(20.0),
+    }
+}
+
+fn assert_bits_eq(a: f64, b: f64, what: &str) {
+    assert_eq!(a.to_bits(), b.to_bits(), "{what}: {a} vs {b}");
+}
+
+#[test]
+fn hmm_fit_is_bitwise_identical_at_every_thread_count() {
+    let obs = synth_obs(2_000, 5);
+    let opts = |parallelism| hmm::EmOptions {
+        num_states: 2,
+        num_symbols: 5,
+        tol: 1e-4,
+        max_iters: 30,
+        seed: 7,
+        restarts: 4,
+        restrict_loss_to_observed: true,
+        parallelism,
+    };
+    let reference = hmm::fit(&obs, &opts(Some(1)));
+    for p in PARALLELISMS {
+        let fit = hmm::fit(&obs, &opts(p));
+        assert_bits_eq(
+            fit.log_likelihood,
+            reference.log_likelihood,
+            &format!("hmm log_likelihood at parallelism {p:?}"),
+        );
+        assert_eq!(fit.iterations, reference.iterations, "at {p:?}");
+        assert_eq!(fit.converged, reference.converged, "at {p:?}");
+        assert_eq!(fit.model.initial(), reference.model.initial(), "at {p:?}");
+        assert_eq!(
+            fit.model.transition().as_slice(),
+            reference.model.transition().as_slice(),
+            "at {p:?}"
+        );
+        assert_eq!(
+            fit.model.emission().as_slice(),
+            reference.model.emission().as_slice(),
+            "at {p:?}"
+        );
+        assert_eq!(fit.model.loss_probs(), reference.model.loss_probs(), "at {p:?}");
+    }
+}
+
+#[test]
+fn mmhd_fit_is_bitwise_identical_at_every_thread_count() {
+    let obs = synth_obs(2_000, 5);
+    let opts = |parallelism| mmhd::EmOptions {
+        num_hidden: 2,
+        num_symbols: 5,
+        tol: 1e-4,
+        max_iters: 30,
+        seed: 7,
+        restarts: 4,
+        restrict_loss_to_observed: true,
+        empirical_init: false,
+        tied_loss: false,
+        parallelism,
+    };
+    let reference = mmhd::fit(&obs, &opts(Some(1)));
+    for p in PARALLELISMS {
+        let fit = mmhd::fit(&obs, &opts(p));
+        assert_bits_eq(
+            fit.log_likelihood,
+            reference.log_likelihood,
+            &format!("mmhd log_likelihood at parallelism {p:?}"),
+        );
+        assert_eq!(fit.iterations, reference.iterations, "at {p:?}");
+        assert_eq!(fit.converged, reference.converged, "at {p:?}");
+        assert_eq!(fit.model.initial(), reference.model.initial(), "at {p:?}");
+        assert_eq!(
+            fit.model.transition().as_slice(),
+            reference.model.transition().as_slice(),
+            "at {p:?}"
+        );
+        assert_eq!(fit.model.loss_probs(), reference.model.loss_probs(), "at {p:?}");
+    }
+}
+
+fn assert_sweeps_identical(a: &SweepResult, b: &SweepResult, what: &str) {
+    assert_eq!(a.reference_dominant, b.reference_dominant, "{what}");
+    assert_eq!(a.points.len(), b.points.len(), "{what}");
+    for (pa, pb) in a.points.iter().zip(&b.points) {
+        assert_bits_eq(pa.duration_secs, pb.duration_secs, what);
+        assert_bits_eq(pa.match_ratio, pb.match_ratio, what);
+        assert_bits_eq(pa.match_ci.0, pb.match_ci.0, what);
+        assert_bits_eq(pa.match_ci.1, pb.match_ci.1, what);
+        assert_bits_eq(pa.unusable_ratio, pb.unusable_ratio, what);
+        assert_eq!(pa.repetitions, pb.repetitions, "{what}");
+    }
+}
+
+#[test]
+fn duration_sweep_is_bitwise_identical_at_every_thread_count() {
+    let trace = dominant_trace(9_000); // 180 s
+    let cfg = |parallelism| SweepConfig {
+        durations_secs: vec![10.0, 30.0, 60.0],
+        repetitions: 6,
+        seed: 0x5EED,
+        identify: IdentifyConfig {
+            estimate_bound: false,
+            restarts: 2,
+            ..IdentifyConfig::default()
+        },
+        parallelism,
+    };
+    let reference = duration_sweep(&trace, &cfg(Some(1))).expect("usable trace");
+    for p in PARALLELISMS {
+        let result = duration_sweep(&trace, &cfg(p)).expect("usable trace");
+        assert_sweeps_identical(&result, &reference, &format!("sweep at parallelism {p:?}"));
+    }
+}
+
+/// The environment default also pins the inner EM parallelism: an
+/// `IdentifyConfig` with an explicit `parallelism` must thread it through
+/// to the estimator and still match the serial verdict.
+#[test]
+fn identify_parallelism_setting_matches_serial_verdict() {
+    use dominant_congested_links::identification::identify::identify;
+    let trace = dominant_trace(3_000);
+    let serial = IdentifyConfig {
+        estimate_bound: false,
+        restarts: 3,
+        parallelism: Some(1),
+        ..IdentifyConfig::default()
+    };
+    let parallel = IdentifyConfig {
+        parallelism: Some(2),
+        ..serial
+    };
+    let a = identify(&trace, &serial).expect("usable trace");
+    let b = identify(&trace, &parallel).expect("usable trace");
+    assert_eq!(a.verdict, b.verdict);
+    assert_bits_eq(a.wdcl.f_at_2d_star, b.wdcl.f_at_2d_star, "WDCL statistic");
+}
