@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-41a43d704c8e7b36.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-41a43d704c8e7b36: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

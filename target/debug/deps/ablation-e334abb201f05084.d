@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-e334abb201f05084.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-e334abb201f05084: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

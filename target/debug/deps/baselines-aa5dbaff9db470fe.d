@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-aa5dbaff9db470fe.d: tests/baselines.rs
+
+/root/repo/target/debug/deps/baselines-aa5dbaff9db470fe: tests/baselines.rs
+
+tests/baselines.rs:

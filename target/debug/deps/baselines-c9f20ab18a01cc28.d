@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-c9f20ab18a01cc28.d: tests/baselines.rs
+
+/root/repo/target/debug/deps/baselines-c9f20ab18a01cc28: tests/baselines.rs
+
+tests/baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-cef8d07193bec0cd.d: tests/baselines.rs
+
+/root/repo/target/debug/deps/baselines-cef8d07193bec0cd: tests/baselines.rs
+
+tests/baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clock_pipeline-29101e1166bc5616.d: tests/clock_pipeline.rs
+
+/root/repo/target/debug/deps/clock_pipeline-29101e1166bc5616: tests/clock_pipeline.rs
+
+tests/clock_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clock_pipeline-33a891141e4cfc93.d: tests/clock_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclock_pipeline-33a891141e4cfc93.rmeta: tests/clock_pipeline.rs Cargo.toml
+
+tests/clock_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clock_pipeline-5dff5bacdee221b2.d: tests/clock_pipeline.rs
+
+/root/repo/target/debug/deps/clock_pipeline-5dff5bacdee221b2: tests/clock_pipeline.rs
+
+tests/clock_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clock_pipeline-95e9a6c1d91a7f79.d: tests/clock_pipeline.rs
+
+/root/repo/target/debug/deps/clock_pipeline-95e9a6c1d91a7f79: tests/clock_pipeline.rs
+
+tests/clock_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcl_bench-338374ffc1bb8d16.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/settings.rs
+
+/root/repo/target/debug/deps/libdcl_bench-338374ffc1bb8d16.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/settings.rs
+
+/root/repo/target/debug/deps/libdcl_bench-338374ffc1bb8d16.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/settings.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/settings.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcl_bench-4243e2795a80f11a.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/settings.rs
+
+/root/repo/target/debug/deps/dcl_bench-4243e2795a80f11a: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/settings.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/settings.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcl_bench-62de0de6a569913b.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/settings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcl_bench-62de0de6a569913b.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/settings.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/settings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

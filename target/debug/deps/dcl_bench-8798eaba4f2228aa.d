@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcl_bench-8798eaba4f2228aa.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/settings.rs
+
+/root/repo/target/debug/deps/libdcl_bench-8798eaba4f2228aa.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/settings.rs
+
+/root/repo/target/debug/deps/libdcl_bench-8798eaba4f2228aa.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/settings.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/settings.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcl_clocksync-80af6b1cc53c6a81.d: crates/clocksync/src/lib.rs
+
+/root/repo/target/debug/deps/libdcl_clocksync-80af6b1cc53c6a81.rlib: crates/clocksync/src/lib.rs
+
+/root/repo/target/debug/deps/libdcl_clocksync-80af6b1cc53c6a81.rmeta: crates/clocksync/src/lib.rs
+
+crates/clocksync/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcl_clocksync-893af111fc3a0bc8.d: crates/clocksync/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcl_clocksync-893af111fc3a0bc8.rmeta: crates/clocksync/src/lib.rs Cargo.toml
+
+crates/clocksync/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcl_clocksync-ca879eb49b444afb.d: crates/clocksync/src/lib.rs
+
+/root/repo/target/debug/deps/libdcl_clocksync-ca879eb49b444afb.rlib: crates/clocksync/src/lib.rs
+
+/root/repo/target/debug/deps/libdcl_clocksync-ca879eb49b444afb.rmeta: crates/clocksync/src/lib.rs
+
+crates/clocksync/src/lib.rs:

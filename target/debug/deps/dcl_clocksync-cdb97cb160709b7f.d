@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcl_clocksync-cdb97cb160709b7f.d: crates/clocksync/src/lib.rs
+
+/root/repo/target/debug/deps/dcl_clocksync-cdb97cb160709b7f: crates/clocksync/src/lib.rs
+
+crates/clocksync/src/lib.rs:

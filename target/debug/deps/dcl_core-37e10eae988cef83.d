@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dcl_core-37e10eae988cef83.d: crates/core/src/lib.rs crates/core/src/bound.rs crates/core/src/discretize.rs crates/core/src/estimators.rs crates/core/src/hyptest.rs crates/core/src/identify.rs crates/core/src/localize.rs crates/core/src/report.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/libdcl_core-37e10eae988cef83.rlib: crates/core/src/lib.rs crates/core/src/bound.rs crates/core/src/discretize.rs crates/core/src/estimators.rs crates/core/src/hyptest.rs crates/core/src/identify.rs crates/core/src/localize.rs crates/core/src/report.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/libdcl_core-37e10eae988cef83.rmeta: crates/core/src/lib.rs crates/core/src/bound.rs crates/core/src/discretize.rs crates/core/src/estimators.rs crates/core/src/hyptest.rs crates/core/src/identify.rs crates/core/src/localize.rs crates/core/src/report.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bound.rs:
+crates/core/src/discretize.rs:
+crates/core/src/estimators.rs:
+crates/core/src/hyptest.rs:
+crates/core/src/identify.rs:
+crates/core/src/localize.rs:
+crates/core/src/report.rs:
+crates/core/src/sweep.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dcl_core-7da4287740106ea2.d: crates/core/src/lib.rs crates/core/src/bound.rs crates/core/src/discretize.rs crates/core/src/estimators.rs crates/core/src/hyptest.rs crates/core/src/identify.rs crates/core/src/localize.rs crates/core/src/report.rs crates/core/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcl_core-7da4287740106ea2.rmeta: crates/core/src/lib.rs crates/core/src/bound.rs crates/core/src/discretize.rs crates/core/src/estimators.rs crates/core/src/hyptest.rs crates/core/src/identify.rs crates/core/src/localize.rs crates/core/src/report.rs crates/core/src/sweep.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bound.rs:
+crates/core/src/discretize.rs:
+crates/core/src/estimators.rs:
+crates/core/src/hyptest.rs:
+crates/core/src/identify.rs:
+crates/core/src/localize.rs:
+crates/core/src/report.rs:
+crates/core/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dcl_core-8c0d6a6d28c12f85.d: crates/core/src/lib.rs crates/core/src/bound.rs crates/core/src/discretize.rs crates/core/src/estimators.rs crates/core/src/hyptest.rs crates/core/src/identify.rs crates/core/src/localize.rs crates/core/src/report.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/dcl_core-8c0d6a6d28c12f85: crates/core/src/lib.rs crates/core/src/bound.rs crates/core/src/discretize.rs crates/core/src/estimators.rs crates/core/src/hyptest.rs crates/core/src/identify.rs crates/core/src/localize.rs crates/core/src/report.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bound.rs:
+crates/core/src/discretize.rs:
+crates/core/src/estimators.rs:
+crates/core/src/hyptest.rs:
+crates/core/src/identify.rs:
+crates/core/src/localize.rs:
+crates/core/src/report.rs:
+crates/core/src/sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcl_hmm-4e2a2af927545b32.d: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs
+
+/root/repo/target/debug/deps/libdcl_hmm-4e2a2af927545b32.rlib: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs
+
+/root/repo/target/debug/deps/libdcl_hmm-4e2a2af927545b32.rmeta: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs
+
+crates/hmm/src/lib.rs:
+crates/hmm/src/em.rs:
+crates/hmm/src/model.rs:

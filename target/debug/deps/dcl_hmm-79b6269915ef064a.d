@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcl_hmm-79b6269915ef064a.d: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs
+
+/root/repo/target/debug/deps/libdcl_hmm-79b6269915ef064a.rlib: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs
+
+/root/repo/target/debug/deps/libdcl_hmm-79b6269915ef064a.rmeta: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs
+
+crates/hmm/src/lib.rs:
+crates/hmm/src/em.rs:
+crates/hmm/src/model.rs:

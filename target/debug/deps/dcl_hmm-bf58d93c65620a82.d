@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcl_hmm-bf58d93c65620a82.d: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs
+
+/root/repo/target/debug/deps/dcl_hmm-bf58d93c65620a82: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs
+
+crates/hmm/src/lib.rs:
+crates/hmm/src/em.rs:
+crates/hmm/src/model.rs:

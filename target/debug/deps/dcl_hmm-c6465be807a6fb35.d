@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcl_hmm-c6465be807a6fb35.d: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcl_hmm-c6465be807a6fb35.rmeta: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs Cargo.toml
+
+crates/hmm/src/lib.rs:
+crates/hmm/src/em.rs:
+crates/hmm/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

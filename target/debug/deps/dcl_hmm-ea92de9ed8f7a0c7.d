@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcl_hmm-ea92de9ed8f7a0c7.d: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs
+
+/root/repo/target/debug/deps/libdcl_hmm-ea92de9ed8f7a0c7.rlib: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs
+
+/root/repo/target/debug/deps/libdcl_hmm-ea92de9ed8f7a0c7.rmeta: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs
+
+crates/hmm/src/lib.rs:
+crates/hmm/src/em.rs:
+crates/hmm/src/model.rs:

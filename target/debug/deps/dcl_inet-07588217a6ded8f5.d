@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dcl_inet-07588217a6ded8f5.d: crates/inet/src/lib.rs crates/inet/src/presets.rs
+
+/root/repo/target/debug/deps/libdcl_inet-07588217a6ded8f5.rlib: crates/inet/src/lib.rs crates/inet/src/presets.rs
+
+/root/repo/target/debug/deps/libdcl_inet-07588217a6ded8f5.rmeta: crates/inet/src/lib.rs crates/inet/src/presets.rs
+
+crates/inet/src/lib.rs:
+crates/inet/src/presets.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcl_inet-36a8afbafe3140ce.d: crates/inet/src/lib.rs crates/inet/src/presets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcl_inet-36a8afbafe3140ce.rmeta: crates/inet/src/lib.rs crates/inet/src/presets.rs Cargo.toml
+
+crates/inet/src/lib.rs:
+crates/inet/src/presets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dcl_inet-41a33b6fe9579651.d: crates/inet/src/lib.rs crates/inet/src/presets.rs
+
+/root/repo/target/debug/deps/dcl_inet-41a33b6fe9579651: crates/inet/src/lib.rs crates/inet/src/presets.rs
+
+crates/inet/src/lib.rs:
+crates/inet/src/presets.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dcl_inet-79e2dfceac93683a.d: crates/inet/src/lib.rs crates/inet/src/presets.rs
+
+/root/repo/target/debug/deps/libdcl_inet-79e2dfceac93683a.rlib: crates/inet/src/lib.rs crates/inet/src/presets.rs
+
+/root/repo/target/debug/deps/libdcl_inet-79e2dfceac93683a.rmeta: crates/inet/src/lib.rs crates/inet/src/presets.rs
+
+crates/inet/src/lib.rs:
+crates/inet/src/presets.rs:

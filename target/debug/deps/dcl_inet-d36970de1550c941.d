@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcl_inet-d36970de1550c941.d: crates/inet/src/lib.rs crates/inet/src/presets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcl_inet-d36970de1550c941.rmeta: crates/inet/src/lib.rs crates/inet/src/presets.rs Cargo.toml
+
+crates/inet/src/lib.rs:
+crates/inet/src/presets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dcl_inet-f485d249527e8fc8.d: crates/inet/src/lib.rs crates/inet/src/presets.rs
+
+/root/repo/target/debug/deps/libdcl_inet-f485d249527e8fc8.rlib: crates/inet/src/lib.rs crates/inet/src/presets.rs
+
+/root/repo/target/debug/deps/libdcl_inet-f485d249527e8fc8.rmeta: crates/inet/src/lib.rs crates/inet/src/presets.rs
+
+crates/inet/src/lib.rs:
+crates/inet/src/presets.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcl_losspair-17e21626cbfb8780.d: crates/losspair/src/lib.rs
+
+/root/repo/target/debug/deps/libdcl_losspair-17e21626cbfb8780.rlib: crates/losspair/src/lib.rs
+
+/root/repo/target/debug/deps/libdcl_losspair-17e21626cbfb8780.rmeta: crates/losspair/src/lib.rs
+
+crates/losspair/src/lib.rs:

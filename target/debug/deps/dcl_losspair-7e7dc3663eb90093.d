@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcl_losspair-7e7dc3663eb90093.d: crates/losspair/src/lib.rs
+
+/root/repo/target/debug/deps/libdcl_losspair-7e7dc3663eb90093.rlib: crates/losspair/src/lib.rs
+
+/root/repo/target/debug/deps/libdcl_losspair-7e7dc3663eb90093.rmeta: crates/losspair/src/lib.rs
+
+crates/losspair/src/lib.rs:

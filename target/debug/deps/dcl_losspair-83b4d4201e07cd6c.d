@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcl_losspair-83b4d4201e07cd6c.d: crates/losspair/src/lib.rs
+
+/root/repo/target/debug/deps/libdcl_losspair-83b4d4201e07cd6c.rlib: crates/losspair/src/lib.rs
+
+/root/repo/target/debug/deps/libdcl_losspair-83b4d4201e07cd6c.rmeta: crates/losspair/src/lib.rs
+
+crates/losspair/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcl_losspair-86e7a52954889cb0.d: crates/losspair/src/lib.rs
+
+/root/repo/target/debug/deps/dcl_losspair-86e7a52954889cb0: crates/losspair/src/lib.rs
+
+crates/losspair/src/lib.rs:

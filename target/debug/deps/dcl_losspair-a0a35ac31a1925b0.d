@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcl_losspair-a0a35ac31a1925b0.d: crates/losspair/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcl_losspair-a0a35ac31a1925b0.rmeta: crates/losspair/src/lib.rs Cargo.toml
+
+crates/losspair/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

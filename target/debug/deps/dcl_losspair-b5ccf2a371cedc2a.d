@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcl_losspair-b5ccf2a371cedc2a.d: crates/losspair/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcl_losspair-b5ccf2a371cedc2a.rmeta: crates/losspair/src/lib.rs Cargo.toml
+
+crates/losspair/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcl_losspair-ec667d642bb1978d.d: crates/losspair/src/lib.rs
+
+/root/repo/target/debug/deps/libdcl_losspair-ec667d642bb1978d.rlib: crates/losspair/src/lib.rs
+
+/root/repo/target/debug/deps/libdcl_losspair-ec667d642bb1978d.rmeta: crates/losspair/src/lib.rs
+
+crates/losspair/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcl_mmhd-0cf8dc8556b5c100.d: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs
+
+/root/repo/target/debug/deps/libdcl_mmhd-0cf8dc8556b5c100.rlib: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs
+
+/root/repo/target/debug/deps/libdcl_mmhd-0cf8dc8556b5c100.rmeta: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs
+
+crates/mmhd/src/lib.rs:
+crates/mmhd/src/em.rs:
+crates/mmhd/src/model.rs:

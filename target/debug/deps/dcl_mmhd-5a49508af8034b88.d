@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcl_mmhd-5a49508af8034b88.d: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcl_mmhd-5a49508af8034b88.rmeta: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs Cargo.toml
+
+crates/mmhd/src/lib.rs:
+crates/mmhd/src/em.rs:
+crates/mmhd/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcl_mmhd-6a83e15a8e85918c.d: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs
+
+/root/repo/target/debug/deps/libdcl_mmhd-6a83e15a8e85918c.rlib: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs
+
+/root/repo/target/debug/deps/libdcl_mmhd-6a83e15a8e85918c.rmeta: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs
+
+crates/mmhd/src/lib.rs:
+crates/mmhd/src/em.rs:
+crates/mmhd/src/model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcl_mmhd-bc666dc585bce3e8.d: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs
+
+/root/repo/target/debug/deps/libdcl_mmhd-bc666dc585bce3e8.rlib: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs
+
+/root/repo/target/debug/deps/libdcl_mmhd-bc666dc585bce3e8.rmeta: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs
+
+crates/mmhd/src/lib.rs:
+crates/mmhd/src/em.rs:
+crates/mmhd/src/model.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcl_mmhd-eea95d85118f44d5.d: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs
+
+/root/repo/target/debug/deps/dcl_mmhd-eea95d85118f44d5: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs
+
+crates/mmhd/src/lib.rs:
+crates/mmhd/src/em.rs:
+crates/mmhd/src/model.rs:

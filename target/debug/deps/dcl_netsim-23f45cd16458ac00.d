@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/dcl_netsim-23f45cd16458ac00.d: crates/netsim/src/lib.rs crates/netsim/src/event.rs crates/netsim/src/link.rs crates/netsim/src/packet.rs crates/netsim/src/probe.rs crates/netsim/src/queue.rs crates/netsim/src/scenarios.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/traffic/mod.rs crates/netsim/src/traffic/cbr.rs crates/netsim/src/traffic/onoff.rs crates/netsim/src/traffic/tcp.rs
+
+/root/repo/target/debug/deps/libdcl_netsim-23f45cd16458ac00.rlib: crates/netsim/src/lib.rs crates/netsim/src/event.rs crates/netsim/src/link.rs crates/netsim/src/packet.rs crates/netsim/src/probe.rs crates/netsim/src/queue.rs crates/netsim/src/scenarios.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/traffic/mod.rs crates/netsim/src/traffic/cbr.rs crates/netsim/src/traffic/onoff.rs crates/netsim/src/traffic/tcp.rs
+
+/root/repo/target/debug/deps/libdcl_netsim-23f45cd16458ac00.rmeta: crates/netsim/src/lib.rs crates/netsim/src/event.rs crates/netsim/src/link.rs crates/netsim/src/packet.rs crates/netsim/src/probe.rs crates/netsim/src/queue.rs crates/netsim/src/scenarios.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/traffic/mod.rs crates/netsim/src/traffic/cbr.rs crates/netsim/src/traffic/onoff.rs crates/netsim/src/traffic/tcp.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/probe.rs:
+crates/netsim/src/queue.rs:
+crates/netsim/src/scenarios.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/trace.rs:
+crates/netsim/src/traffic/mod.rs:
+crates/netsim/src/traffic/cbr.rs:
+crates/netsim/src/traffic/onoff.rs:
+crates/netsim/src/traffic/tcp.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/dcl_netsim-b8a2f19ca44547b1.d: crates/netsim/src/lib.rs crates/netsim/src/event.rs crates/netsim/src/link.rs crates/netsim/src/packet.rs crates/netsim/src/probe.rs crates/netsim/src/queue.rs crates/netsim/src/scenarios.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/traffic/mod.rs crates/netsim/src/traffic/cbr.rs crates/netsim/src/traffic/onoff.rs crates/netsim/src/traffic/tcp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcl_netsim-b8a2f19ca44547b1.rmeta: crates/netsim/src/lib.rs crates/netsim/src/event.rs crates/netsim/src/link.rs crates/netsim/src/packet.rs crates/netsim/src/probe.rs crates/netsim/src/queue.rs crates/netsim/src/scenarios.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/traffic/mod.rs crates/netsim/src/traffic/cbr.rs crates/netsim/src/traffic/onoff.rs crates/netsim/src/traffic/tcp.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/probe.rs:
+crates/netsim/src/queue.rs:
+crates/netsim/src/scenarios.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/trace.rs:
+crates/netsim/src/traffic/mod.rs:
+crates/netsim/src/traffic/cbr.rs:
+crates/netsim/src/traffic/onoff.rs:
+crates/netsim/src/traffic/tcp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dcl_probnum-0bfc9895b430f0af.d: crates/probnum/src/lib.rs crates/probnum/src/dist.rs crates/probnum/src/fb.rs crates/probnum/src/logspace.rs crates/probnum/src/markov.rs crates/probnum/src/matrix.rs crates/probnum/src/obs.rs crates/probnum/src/stats.rs crates/probnum/src/stochastic.rs
+
+/root/repo/target/debug/deps/libdcl_probnum-0bfc9895b430f0af.rlib: crates/probnum/src/lib.rs crates/probnum/src/dist.rs crates/probnum/src/fb.rs crates/probnum/src/logspace.rs crates/probnum/src/markov.rs crates/probnum/src/matrix.rs crates/probnum/src/obs.rs crates/probnum/src/stats.rs crates/probnum/src/stochastic.rs
+
+/root/repo/target/debug/deps/libdcl_probnum-0bfc9895b430f0af.rmeta: crates/probnum/src/lib.rs crates/probnum/src/dist.rs crates/probnum/src/fb.rs crates/probnum/src/logspace.rs crates/probnum/src/markov.rs crates/probnum/src/matrix.rs crates/probnum/src/obs.rs crates/probnum/src/stats.rs crates/probnum/src/stochastic.rs
+
+crates/probnum/src/lib.rs:
+crates/probnum/src/dist.rs:
+crates/probnum/src/fb.rs:
+crates/probnum/src/logspace.rs:
+crates/probnum/src/markov.rs:
+crates/probnum/src/matrix.rs:
+crates/probnum/src/obs.rs:
+crates/probnum/src/stats.rs:
+crates/probnum/src/stochastic.rs:

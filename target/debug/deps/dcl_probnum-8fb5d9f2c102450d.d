@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dcl_probnum-8fb5d9f2c102450d.d: crates/probnum/src/lib.rs crates/probnum/src/dist.rs crates/probnum/src/fb.rs crates/probnum/src/logspace.rs crates/probnum/src/markov.rs crates/probnum/src/matrix.rs crates/probnum/src/obs.rs crates/probnum/src/stats.rs crates/probnum/src/stochastic.rs
+
+/root/repo/target/debug/deps/dcl_probnum-8fb5d9f2c102450d: crates/probnum/src/lib.rs crates/probnum/src/dist.rs crates/probnum/src/fb.rs crates/probnum/src/logspace.rs crates/probnum/src/markov.rs crates/probnum/src/matrix.rs crates/probnum/src/obs.rs crates/probnum/src/stats.rs crates/probnum/src/stochastic.rs
+
+crates/probnum/src/lib.rs:
+crates/probnum/src/dist.rs:
+crates/probnum/src/fb.rs:
+crates/probnum/src/logspace.rs:
+crates/probnum/src/markov.rs:
+crates/probnum/src/matrix.rs:
+crates/probnum/src/obs.rs:
+crates/probnum/src/stats.rs:
+crates/probnum/src/stochastic.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dcl_probnum-af516c42190b1353.d: crates/probnum/src/lib.rs crates/probnum/src/dist.rs crates/probnum/src/fb.rs crates/probnum/src/logspace.rs crates/probnum/src/markov.rs crates/probnum/src/matrix.rs crates/probnum/src/obs.rs crates/probnum/src/stats.rs crates/probnum/src/stochastic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcl_probnum-af516c42190b1353.rmeta: crates/probnum/src/lib.rs crates/probnum/src/dist.rs crates/probnum/src/fb.rs crates/probnum/src/logspace.rs crates/probnum/src/markov.rs crates/probnum/src/matrix.rs crates/probnum/src/obs.rs crates/probnum/src/stats.rs crates/probnum/src/stochastic.rs Cargo.toml
+
+crates/probnum/src/lib.rs:
+crates/probnum/src/dist.rs:
+crates/probnum/src/fb.rs:
+crates/probnum/src/logspace.rs:
+crates/probnum/src/markov.rs:
+crates/probnum/src/matrix.rs:
+crates/probnum/src/obs.rs:
+crates/probnum/src/stats.rs:
+crates/probnum/src/stochastic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dcl_probnum-e5dd08f6cc689888.d: crates/probnum/src/lib.rs crates/probnum/src/dist.rs crates/probnum/src/fb.rs crates/probnum/src/logspace.rs crates/probnum/src/markov.rs crates/probnum/src/matrix.rs crates/probnum/src/obs.rs crates/probnum/src/stats.rs crates/probnum/src/stochastic.rs
+
+/root/repo/target/debug/deps/libdcl_probnum-e5dd08f6cc689888.rlib: crates/probnum/src/lib.rs crates/probnum/src/dist.rs crates/probnum/src/fb.rs crates/probnum/src/logspace.rs crates/probnum/src/markov.rs crates/probnum/src/matrix.rs crates/probnum/src/obs.rs crates/probnum/src/stats.rs crates/probnum/src/stochastic.rs
+
+/root/repo/target/debug/deps/libdcl_probnum-e5dd08f6cc689888.rmeta: crates/probnum/src/lib.rs crates/probnum/src/dist.rs crates/probnum/src/fb.rs crates/probnum/src/logspace.rs crates/probnum/src/markov.rs crates/probnum/src/matrix.rs crates/probnum/src/obs.rs crates/probnum/src/stats.rs crates/probnum/src/stochastic.rs
+
+crates/probnum/src/lib.rs:
+crates/probnum/src/dist.rs:
+crates/probnum/src/fb.rs:
+crates/probnum/src/logspace.rs:
+crates/probnum/src/markov.rs:
+crates/probnum/src/matrix.rs:
+crates/probnum/src/obs.rs:
+crates/probnum/src/stats.rs:
+crates/probnum/src/stochastic.rs:

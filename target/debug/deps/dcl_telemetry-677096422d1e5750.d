@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dcl_telemetry-677096422d1e5750.d: crates/telemetry/src/lib.rs crates/telemetry/src/metrics.rs crates/telemetry/src/observer.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcl_telemetry-677096422d1e5750.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/metrics.rs crates/telemetry/src/observer.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/observer.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

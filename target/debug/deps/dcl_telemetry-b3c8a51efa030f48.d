@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcl_telemetry-b3c8a51efa030f48.d: crates/telemetry/src/lib.rs crates/telemetry/src/metrics.rs crates/telemetry/src/observer.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libdcl_telemetry-b3c8a51efa030f48.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/metrics.rs crates/telemetry/src/observer.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libdcl_telemetry-b3c8a51efa030f48.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/metrics.rs crates/telemetry/src/observer.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/observer.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcl_telemetry-dce211139238e830.d: crates/telemetry/src/lib.rs crates/telemetry/src/metrics.rs crates/telemetry/src/observer.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libdcl_telemetry-dce211139238e830.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/metrics.rs crates/telemetry/src/observer.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libdcl_telemetry-dce211139238e830.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/metrics.rs crates/telemetry/src/observer.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/observer.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dominant_congested_links-0d28db688533a0e2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdominant_congested_links-0d28db688533a0e2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdominant_congested_links-0d28db688533a0e2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dominant_congested_links-39ff75e468d319ba.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdominant_congested_links-39ff75e468d319ba.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dominant_congested_links-7dab50c16f5b34b2.d: src/lib.rs
+
+/root/repo/target/debug/deps/dominant_congested_links-7dab50c16f5b34b2: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dominant_congested_links-88836180218d6f78.d: src/lib.rs
+
+/root/repo/target/debug/deps/dominant_congested_links-88836180218d6f78: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dominant_congested_links-de256279953e1684.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdominant_congested_links-de256279953e1684.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdominant_congested_links-de256279953e1684.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dominant_congested_links-fab92aa65cfc7f8a.d: src/lib.rs
+
+/root/repo/target/debug/deps/dominant_congested_links-fab92aa65cfc7f8a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dominant_congested_links-fba63080858e5446.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdominant_congested_links-fba63080858e5446.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdominant_congested_links-fba63080858e5446.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/em_perf-3ae9f7d969d99756.d: crates/bench/benches/em_perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libem_perf-3ae9f7d969d99756.rmeta: crates/bench/benches/em_perf.rs Cargo.toml
+
+crates/bench/benches/em_perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

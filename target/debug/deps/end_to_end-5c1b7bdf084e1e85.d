@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-5c1b7bdf084e1e85.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-5c1b7bdf084e1e85: tests/end_to_end.rs
+
+tests/end_to_end.rs:

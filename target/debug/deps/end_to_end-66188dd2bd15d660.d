@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-66188dd2bd15d660.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-66188dd2bd15d660: tests/end_to_end.rs
+
+tests/end_to_end.rs:

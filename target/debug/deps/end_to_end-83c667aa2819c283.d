@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-83c667aa2819c283.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-83c667aa2819c283: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_localization-30e3c2859479b50f.d: tests/extension_localization.rs
+
+/root/repo/target/debug/deps/extension_localization-30e3c2859479b50f: tests/extension_localization.rs
+
+tests/extension_localization.rs:

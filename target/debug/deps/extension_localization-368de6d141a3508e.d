@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extension_localization-368de6d141a3508e.d: tests/extension_localization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextension_localization-368de6d141a3508e.rmeta: tests/extension_localization.rs Cargo.toml
+
+tests/extension_localization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_localization-c09adcacab018e89.d: tests/extension_localization.rs
+
+/root/repo/target/debug/deps/extension_localization-c09adcacab018e89: tests/extension_localization.rs
+
+tests/extension_localization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_localization-c5457bc0bdf05e24.d: tests/extension_localization.rs
+
+/root/repo/target/debug/deps/extension_localization-c5457bc0bdf05e24: tests/extension_localization.rs
+
+tests/extension_localization.rs:

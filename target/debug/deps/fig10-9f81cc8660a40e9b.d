@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-9f81cc8660a40e9b.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-9f81cc8660a40e9b: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-c96bfe739a255b06.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-c96bfe739a255b06: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-2ef32262689005c8.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-2ef32262689005c8: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

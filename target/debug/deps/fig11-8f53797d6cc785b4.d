@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-8f53797d6cc785b4.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-8f53797d6cc785b4: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-0d73071dbf4dd6cd.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-0d73071dbf4dd6cd: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

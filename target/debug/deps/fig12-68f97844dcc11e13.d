@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-68f97844dcc11e13.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-68f97844dcc11e13: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

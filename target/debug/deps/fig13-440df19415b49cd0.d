@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-440df19415b49cd0.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-440df19415b49cd0: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

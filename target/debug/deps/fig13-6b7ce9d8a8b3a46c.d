@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13-6b7ce9d8a8b3a46c.d: crates/bench/src/bin/fig13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13-6b7ce9d8a8b3a46c.rmeta: crates/bench/src/bin/fig13.rs Cargo.toml
+
+crates/bench/src/bin/fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-be22fd1db261a27f.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-be22fd1db261a27f: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-c8247a7e6a348dc1.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-c8247a7e6a348dc1: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-cc775f6ecbc55bd5.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-cc775f6ecbc55bd5: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

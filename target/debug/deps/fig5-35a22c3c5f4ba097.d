@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-35a22c3c5f4ba097.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-35a22c3c5f4ba097: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-38f3f2332306ab58.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-38f3f2332306ab58: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

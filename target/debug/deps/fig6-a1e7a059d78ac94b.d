@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-a1e7a059d78ac94b.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-a1e7a059d78ac94b: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

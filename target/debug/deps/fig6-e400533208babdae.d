@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-e400533208babdae.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-e400533208babdae: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

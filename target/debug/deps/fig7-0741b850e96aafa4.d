@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-0741b850e96aafa4.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-0741b850e96aafa4: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-546e0120d8792d91.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-546e0120d8792d91: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

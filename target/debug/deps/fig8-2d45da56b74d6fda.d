@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-2d45da56b74d6fda.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-2d45da56b74d6fda: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-d59ec86b18530997.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-d59ec86b18530997: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-939a763eb7587dec.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-939a763eb7587dec: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-9ee7a65388035947.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-9ee7a65388035947: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

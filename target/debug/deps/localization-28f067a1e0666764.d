@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/localization-28f067a1e0666764.d: crates/bench/src/bin/localization.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocalization-28f067a1e0666764.rmeta: crates/bench/src/bin/localization.rs Cargo.toml
+
+crates/bench/src/bin/localization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

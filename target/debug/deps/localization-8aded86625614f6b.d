@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/localization-8aded86625614f6b.d: crates/bench/src/bin/localization.rs
+
+/root/repo/target/debug/deps/localization-8aded86625614f6b: crates/bench/src/bin/localization.rs
+
+crates/bench/src/bin/localization.rs:

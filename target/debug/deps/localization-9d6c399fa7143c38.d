@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/localization-9d6c399fa7143c38.d: crates/bench/src/bin/localization.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocalization-9d6c399fa7143c38.rmeta: crates/bench/src/bin/localization.rs Cargo.toml
+
+crates/bench/src/bin/localization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/localization-dc595eacacea7324.d: crates/bench/src/bin/localization.rs
+
+/root/repo/target/debug/deps/localization-dc595eacacea7324: crates/bench/src/bin/localization.rs
+
+crates/bench/src/bin/localization.rs:

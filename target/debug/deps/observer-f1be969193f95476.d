@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observer-f1be969193f95476.d: crates/hmm/tests/observer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobserver-f1be969193f95476.rmeta: crates/hmm/tests/observer.rs Cargo.toml
+
+crates/hmm/tests/observer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

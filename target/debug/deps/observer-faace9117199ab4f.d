@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observer-faace9117199ab4f.d: crates/hmm/tests/observer.rs
+
+/root/repo/target/debug/deps/observer-faace9117199ab4f: crates/hmm/tests/observer.rs
+
+crates/hmm/tests/observer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-16368c990046a3fe.d: crates/inet/tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-16368c990046a3fe.rmeta: crates/inet/tests/pipeline.rs Cargo.toml
+
+crates/inet/tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-f757b6f5dcc03d4c.d: crates/inet/tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-f757b6f5dcc03d4c: crates/inet/tests/pipeline.rs
+
+crates/inet/tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_perf-73d6ab9a1dfdd655.d: crates/bench/benches/pipeline_perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_perf-73d6ab9a1dfdd655.rmeta: crates/bench/benches/pipeline_perf.rs Cargo.toml
+
+crates/bench/benches/pipeline_perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

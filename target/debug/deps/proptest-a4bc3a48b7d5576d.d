@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-a4bc3a48b7d5576d.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a4bc3a48b7d5576d.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a4bc3a48b7d5576d.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-e49b2c4adc3e243c.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-e49b2c4adc3e243c: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-0b79c55289b9868c.d: crates/probnum/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-0b79c55289b9868c.rmeta: crates/probnum/tests/proptests.rs Cargo.toml
+
+crates/probnum/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

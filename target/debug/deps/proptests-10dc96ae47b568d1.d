@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-10dc96ae47b568d1.d: crates/mmhd/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-10dc96ae47b568d1.rmeta: crates/mmhd/tests/proptests.rs Cargo.toml
+
+crates/mmhd/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-13d457406a60a17f.d: crates/clocksync/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-13d457406a60a17f.rmeta: crates/clocksync/tests/proptests.rs Cargo.toml
+
+crates/clocksync/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

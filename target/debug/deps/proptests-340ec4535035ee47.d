@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-340ec4535035ee47.d: crates/netsim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-340ec4535035ee47.rmeta: crates/netsim/tests/proptests.rs Cargo.toml
+
+crates/netsim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-48091939c66d70d9.d: crates/hmm/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-48091939c66d70d9.rmeta: crates/hmm/tests/proptests.rs Cargo.toml
+
+crates/hmm/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

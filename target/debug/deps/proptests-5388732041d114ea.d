@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5388732041d114ea.d: crates/clocksync/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-5388732041d114ea: crates/clocksync/tests/proptests.rs
+
+crates/clocksync/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-575a4b750195ccb8.d: crates/hmm/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-575a4b750195ccb8: crates/hmm/tests/proptests.rs
+
+crates/hmm/tests/proptests.rs:

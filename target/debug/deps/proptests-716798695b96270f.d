@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-716798695b96270f.d: crates/losspair/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-716798695b96270f: crates/losspair/tests/proptests.rs
+
+crates/losspair/tests/proptests.rs:

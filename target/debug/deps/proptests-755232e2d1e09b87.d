@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-755232e2d1e09b87.d: crates/netsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-755232e2d1e09b87: crates/netsim/tests/proptests.rs
+
+crates/netsim/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-8b7201720c5b2166.d: crates/losspair/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-8b7201720c5b2166.rmeta: crates/losspair/tests/proptests.rs Cargo.toml
+
+crates/losspair/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8e773c8138627a66.d: crates/mmhd/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8e773c8138627a66: crates/mmhd/tests/proptests.rs
+
+crates/mmhd/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-90f9d6e386bc0e27.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-90f9d6e386bc0e27: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

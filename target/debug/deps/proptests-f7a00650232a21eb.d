@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f7a00650232a21eb.d: crates/probnum/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f7a00650232a21eb: crates/probnum/tests/proptests.rs
+
+crates/probnum/tests/proptests.rs:

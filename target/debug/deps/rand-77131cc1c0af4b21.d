@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-77131cc1c0af4b21.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-77131cc1c0af4b21.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-77131cc1c0af4b21.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

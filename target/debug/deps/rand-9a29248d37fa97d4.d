@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-9a29248d37fa97d4.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-9a29248d37fa97d4: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

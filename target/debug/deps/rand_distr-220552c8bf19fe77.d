@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_distr-220552c8bf19fe77.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-220552c8bf19fe77.rlib: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-220552c8bf19fe77.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

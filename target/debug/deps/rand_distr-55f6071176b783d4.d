@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_distr-55f6071176b783d4.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-55f6071176b783d4.rlib: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-55f6071176b783d4.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_distr-fe16d8136483dc35.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/rand_distr-fe16d8136483dc35: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde-425bb696eca7807b.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/serde-425bb696eca7807b: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:

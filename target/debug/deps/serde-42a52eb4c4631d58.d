@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/serde-42a52eb4c4631d58.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-42a52eb4c4631d58.rlib: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-42a52eb4c4631d58.rmeta: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-60ce1a8bbc29bca3.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-60ce1a8bbc29bca3: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-835e2f780039559c.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-835e2f780039559c.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-835e2f780039559c.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

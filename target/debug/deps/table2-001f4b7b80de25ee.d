@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-001f4b7b80de25ee.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-001f4b7b80de25ee: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-c2e9cc98c8a3b964.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-c2e9cc98c8a3b964: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-9585326fa3f92fbd.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-9585326fa3f92fbd: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-fc1c941d9ce79151.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-fc1c941d9ce79151: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

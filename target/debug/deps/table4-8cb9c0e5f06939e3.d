@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-8cb9c0e5f06939e3.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-8cb9c0e5f06939e3: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-9eda4de1ee354799.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-9eda4de1ee354799: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tcp_behavior-2afc4166d71bb1b4.d: crates/netsim/tests/tcp_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtcp_behavior-2afc4166d71bb1b4.rmeta: crates/netsim/tests/tcp_behavior.rs Cargo.toml
+
+crates/netsim/tests/tcp_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

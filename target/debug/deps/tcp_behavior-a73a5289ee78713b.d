@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_behavior-a73a5289ee78713b.d: crates/netsim/tests/tcp_behavior.rs
+
+/root/repo/target/debug/deps/tcp_behavior-a73a5289ee78713b: crates/netsim/tests/tcp_behavior.rs
+
+crates/netsim/tests/tcp_behavior.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/diag_nodominant-d4c275be4ac262a8.d: examples/diag_nodominant.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiag_nodominant-d4c275be4ac262a8.rmeta: examples/diag_nodominant.rs Cargo.toml
+
+examples/diag_nodominant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

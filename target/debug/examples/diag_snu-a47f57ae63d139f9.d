@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/diag_snu-a47f57ae63d139f9.d: examples/diag_snu.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiag_snu-a47f57ae63d139f9.rmeta: examples/diag_snu.rs Cargo.toml
+
+examples/diag_snu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/identify_trace-0e295c0a2a081f43.d: examples/identify_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libidentify_trace-0e295c0a2a081f43.rmeta: examples/identify_trace.rs Cargo.toml
+
+examples/identify_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

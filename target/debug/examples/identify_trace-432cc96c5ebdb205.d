@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/identify_trace-432cc96c5ebdb205.d: examples/identify_trace.rs
+
+/root/repo/target/debug/examples/identify_trace-432cc96c5ebdb205: examples/identify_trace.rs
+
+examples/identify_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/identify_trace-ddd67b5349b53688.d: examples/identify_trace.rs
+
+/root/repo/target/debug/examples/identify_trace-ddd67b5349b53688: examples/identify_trace.rs
+
+examples/identify_trace.rs:

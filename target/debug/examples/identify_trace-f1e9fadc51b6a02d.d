@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/identify_trace-f1e9fadc51b6a02d.d: examples/identify_trace.rs
+
+/root/repo/target/debug/examples/identify_trace-f1e9fadc51b6a02d: examples/identify_trace.rs
+
+examples/identify_trace.rs:

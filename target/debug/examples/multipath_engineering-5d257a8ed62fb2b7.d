@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multipath_engineering-5d257a8ed62fb2b7.d: examples/multipath_engineering.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmultipath_engineering-5d257a8ed62fb2b7.rmeta: examples/multipath_engineering.rs Cargo.toml
+
+examples/multipath_engineering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

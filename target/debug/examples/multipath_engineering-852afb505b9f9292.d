@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multipath_engineering-852afb505b9f9292.d: examples/multipath_engineering.rs
+
+/root/repo/target/debug/examples/multipath_engineering-852afb505b9f9292: examples/multipath_engineering.rs
+
+examples/multipath_engineering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multipath_engineering-95fa927f4f524fc3.d: examples/multipath_engineering.rs
+
+/root/repo/target/debug/examples/multipath_engineering-95fa927f4f524fc3: examples/multipath_engineering.rs
+
+examples/multipath_engineering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multipath_engineering-eb4f111650560429.d: examples/multipath_engineering.rs
+
+/root/repo/target/debug/examples/multipath_engineering-eb4f111650560429: examples/multipath_engineering.rs
+
+examples/multipath_engineering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-419ddf96f8abe50c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-419ddf96f8abe50c: examples/quickstart.rs
+
+examples/quickstart.rs:

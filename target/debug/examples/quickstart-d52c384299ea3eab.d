@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d52c384299ea3eab.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d52c384299ea3eab: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f88860f9a3a7a7ec.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f88860f9a3a7a7ec: examples/quickstart.rs
+
+examples/quickstart.rs:

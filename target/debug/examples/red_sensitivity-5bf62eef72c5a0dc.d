@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/red_sensitivity-5bf62eef72c5a0dc.d: examples/red_sensitivity.rs
+
+/root/repo/target/debug/examples/red_sensitivity-5bf62eef72c5a0dc: examples/red_sensitivity.rs
+
+examples/red_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/red_sensitivity-895598fa054fe139.d: examples/red_sensitivity.rs
+
+/root/repo/target/debug/examples/red_sensitivity-895598fa054fe139: examples/red_sensitivity.rs
+
+examples/red_sensitivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/red_sensitivity-c085fc2ea0dca93b.d: examples/red_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/examples/libred_sensitivity-c085fc2ea0dca93b.rmeta: examples/red_sensitivity.rs Cargo.toml
+
+examples/red_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

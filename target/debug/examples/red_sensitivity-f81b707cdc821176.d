@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/red_sensitivity-f81b707cdc821176.d: examples/red_sensitivity.rs
+
+/root/repo/target/debug/examples/red_sensitivity-f81b707cdc821176: examples/red_sensitivity.rs
+
+examples/red_sensitivity.rs:

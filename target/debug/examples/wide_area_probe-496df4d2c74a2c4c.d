@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wide_area_probe-496df4d2c74a2c4c.d: examples/wide_area_probe.rs
+
+/root/repo/target/debug/examples/wide_area_probe-496df4d2c74a2c4c: examples/wide_area_probe.rs
+
+examples/wide_area_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wide_area_probe-c37e9abe425db428.d: examples/wide_area_probe.rs
+
+/root/repo/target/debug/examples/wide_area_probe-c37e9abe425db428: examples/wide_area_probe.rs
+
+examples/wide_area_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wide_area_probe-c513f1ab0b8522b8.d: examples/wide_area_probe.rs
+
+/root/repo/target/debug/examples/wide_area_probe-c513f1ab0b8522b8: examples/wide_area_probe.rs
+
+examples/wide_area_probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wide_area_probe-c9de47ed0940ba27.d: examples/wide_area_probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwide_area_probe-c9de47ed0940ba27.rmeta: examples/wide_area_probe.rs Cargo.toml
+
+examples/wide_area_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation-05648395b5bc1a6e.d: crates/bench/src/bin/ablation.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation-05648395b5bc1a6e.rmeta: crates/bench/src/bin/ablation.rs Cargo.toml
+
+crates/bench/src/bin/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

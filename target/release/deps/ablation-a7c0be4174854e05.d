@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-a7c0be4174854e05.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-a7c0be4174854e05: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

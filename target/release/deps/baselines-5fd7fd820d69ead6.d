@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baselines-5fd7fd820d69ead6.d: tests/baselines.rs
+
+/root/repo/target/release/deps/baselines-5fd7fd820d69ead6: tests/baselines.rs
+
+tests/baselines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/baselines-fb3264e802381b6b.d: tests/baselines.rs Cargo.toml
+
+/root/repo/target/release/deps/libbaselines-fb3264e802381b6b.rmeta: tests/baselines.rs Cargo.toml
+
+tests/baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

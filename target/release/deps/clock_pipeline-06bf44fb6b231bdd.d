@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/clock_pipeline-06bf44fb6b231bdd.d: tests/clock_pipeline.rs
+
+/root/repo/target/release/deps/clock_pipeline-06bf44fb6b231bdd: tests/clock_pipeline.rs
+
+tests/clock_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/clock_pipeline-bd7789b81d154566.d: tests/clock_pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libclock_pipeline-bd7789b81d154566.rmeta: tests/clock_pipeline.rs Cargo.toml
+
+tests/clock_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

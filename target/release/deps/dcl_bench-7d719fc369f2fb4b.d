@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dcl_bench-7d719fc369f2fb4b.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/settings.rs Cargo.toml
+
+/root/repo/target/release/deps/libdcl_bench-7d719fc369f2fb4b.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/settings.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/settings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

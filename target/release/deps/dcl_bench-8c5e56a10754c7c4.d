@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcl_bench-8c5e56a10754c7c4.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/settings.rs
+
+/root/repo/target/release/deps/libdcl_bench-8c5e56a10754c7c4.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/settings.rs
+
+/root/repo/target/release/deps/libdcl_bench-8c5e56a10754c7c4.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/settings.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/settings.rs:

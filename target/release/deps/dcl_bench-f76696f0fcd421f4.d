@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dcl_bench-f76696f0fcd421f4.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/settings.rs Cargo.toml
+
+/root/repo/target/release/deps/libdcl_bench-f76696f0fcd421f4.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/settings.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/settings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

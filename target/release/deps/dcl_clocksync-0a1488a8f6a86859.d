@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dcl_clocksync-0a1488a8f6a86859.d: crates/clocksync/src/lib.rs
+
+/root/repo/target/release/deps/libdcl_clocksync-0a1488a8f6a86859.rlib: crates/clocksync/src/lib.rs
+
+/root/repo/target/release/deps/libdcl_clocksync-0a1488a8f6a86859.rmeta: crates/clocksync/src/lib.rs
+
+crates/clocksync/src/lib.rs:

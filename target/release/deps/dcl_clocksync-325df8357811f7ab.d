@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcl_clocksync-325df8357811f7ab.d: crates/clocksync/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libdcl_clocksync-325df8357811f7ab.rmeta: crates/clocksync/src/lib.rs Cargo.toml
+
+crates/clocksync/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

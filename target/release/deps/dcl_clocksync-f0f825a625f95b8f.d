@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcl_clocksync-f0f825a625f95b8f.d: crates/clocksync/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libdcl_clocksync-f0f825a625f95b8f.rmeta: crates/clocksync/src/lib.rs Cargo.toml
+
+crates/clocksync/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

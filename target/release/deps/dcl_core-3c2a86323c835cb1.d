@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dcl_core-3c2a86323c835cb1.d: crates/core/src/lib.rs crates/core/src/bound.rs crates/core/src/discretize.rs crates/core/src/estimators.rs crates/core/src/hyptest.rs crates/core/src/identify.rs crates/core/src/localize.rs crates/core/src/report.rs crates/core/src/sweep.rs
+
+/root/repo/target/release/deps/libdcl_core-3c2a86323c835cb1.rlib: crates/core/src/lib.rs crates/core/src/bound.rs crates/core/src/discretize.rs crates/core/src/estimators.rs crates/core/src/hyptest.rs crates/core/src/identify.rs crates/core/src/localize.rs crates/core/src/report.rs crates/core/src/sweep.rs
+
+/root/repo/target/release/deps/libdcl_core-3c2a86323c835cb1.rmeta: crates/core/src/lib.rs crates/core/src/bound.rs crates/core/src/discretize.rs crates/core/src/estimators.rs crates/core/src/hyptest.rs crates/core/src/identify.rs crates/core/src/localize.rs crates/core/src/report.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bound.rs:
+crates/core/src/discretize.rs:
+crates/core/src/estimators.rs:
+crates/core/src/hyptest.rs:
+crates/core/src/identify.rs:
+crates/core/src/localize.rs:
+crates/core/src/report.rs:
+crates/core/src/sweep.rs:

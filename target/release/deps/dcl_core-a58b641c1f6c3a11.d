@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/dcl_core-a58b641c1f6c3a11.d: crates/core/src/lib.rs crates/core/src/bound.rs crates/core/src/discretize.rs crates/core/src/estimators.rs crates/core/src/hyptest.rs crates/core/src/identify.rs crates/core/src/localize.rs crates/core/src/report.rs crates/core/src/sweep.rs Cargo.toml
+
+/root/repo/target/release/deps/libdcl_core-a58b641c1f6c3a11.rmeta: crates/core/src/lib.rs crates/core/src/bound.rs crates/core/src/discretize.rs crates/core/src/estimators.rs crates/core/src/hyptest.rs crates/core/src/identify.rs crates/core/src/localize.rs crates/core/src/report.rs crates/core/src/sweep.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bound.rs:
+crates/core/src/discretize.rs:
+crates/core/src/estimators.rs:
+crates/core/src/hyptest.rs:
+crates/core/src/identify.rs:
+crates/core/src/localize.rs:
+crates/core/src/report.rs:
+crates/core/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

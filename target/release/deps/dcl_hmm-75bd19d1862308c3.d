@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcl_hmm-75bd19d1862308c3.d: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs
+
+/root/repo/target/release/deps/libdcl_hmm-75bd19d1862308c3.rlib: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs
+
+/root/repo/target/release/deps/libdcl_hmm-75bd19d1862308c3.rmeta: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs
+
+crates/hmm/src/lib.rs:
+crates/hmm/src/em.rs:
+crates/hmm/src/model.rs:

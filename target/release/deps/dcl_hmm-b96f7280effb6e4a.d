@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dcl_hmm-b96f7280effb6e4a.d: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs Cargo.toml
+
+/root/repo/target/release/deps/libdcl_hmm-b96f7280effb6e4a.rmeta: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs Cargo.toml
+
+crates/hmm/src/lib.rs:
+crates/hmm/src/em.rs:
+crates/hmm/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

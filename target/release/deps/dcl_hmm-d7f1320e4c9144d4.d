@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dcl_hmm-d7f1320e4c9144d4.d: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs Cargo.toml
+
+/root/repo/target/release/deps/libdcl_hmm-d7f1320e4c9144d4.rmeta: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs Cargo.toml
+
+crates/hmm/src/lib.rs:
+crates/hmm/src/em.rs:
+crates/hmm/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

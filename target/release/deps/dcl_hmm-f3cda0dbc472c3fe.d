@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcl_hmm-f3cda0dbc472c3fe.d: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs
+
+/root/repo/target/release/deps/libdcl_hmm-f3cda0dbc472c3fe.rlib: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs
+
+/root/repo/target/release/deps/libdcl_hmm-f3cda0dbc472c3fe.rmeta: crates/hmm/src/lib.rs crates/hmm/src/em.rs crates/hmm/src/model.rs
+
+crates/hmm/src/lib.rs:
+crates/hmm/src/em.rs:
+crates/hmm/src/model.rs:

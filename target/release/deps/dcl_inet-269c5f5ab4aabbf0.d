@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dcl_inet-269c5f5ab4aabbf0.d: crates/inet/src/lib.rs crates/inet/src/presets.rs Cargo.toml
+
+/root/repo/target/release/deps/libdcl_inet-269c5f5ab4aabbf0.rmeta: crates/inet/src/lib.rs crates/inet/src/presets.rs Cargo.toml
+
+crates/inet/src/lib.rs:
+crates/inet/src/presets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dcl_inet-2d8bbdb377925f83.d: crates/inet/src/lib.rs crates/inet/src/presets.rs Cargo.toml
+
+/root/repo/target/release/deps/libdcl_inet-2d8bbdb377925f83.rmeta: crates/inet/src/lib.rs crates/inet/src/presets.rs Cargo.toml
+
+crates/inet/src/lib.rs:
+crates/inet/src/presets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

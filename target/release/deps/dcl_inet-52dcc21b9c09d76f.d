@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dcl_inet-52dcc21b9c09d76f.d: crates/inet/src/lib.rs crates/inet/src/presets.rs
+
+/root/repo/target/release/deps/libdcl_inet-52dcc21b9c09d76f.rlib: crates/inet/src/lib.rs crates/inet/src/presets.rs
+
+/root/repo/target/release/deps/libdcl_inet-52dcc21b9c09d76f.rmeta: crates/inet/src/lib.rs crates/inet/src/presets.rs
+
+crates/inet/src/lib.rs:
+crates/inet/src/presets.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dcl_inet-c9de2e713f66da1a.d: crates/inet/src/lib.rs crates/inet/src/presets.rs
+
+/root/repo/target/release/deps/libdcl_inet-c9de2e713f66da1a.rlib: crates/inet/src/lib.rs crates/inet/src/presets.rs
+
+/root/repo/target/release/deps/libdcl_inet-c9de2e713f66da1a.rmeta: crates/inet/src/lib.rs crates/inet/src/presets.rs
+
+crates/inet/src/lib.rs:
+crates/inet/src/presets.rs:

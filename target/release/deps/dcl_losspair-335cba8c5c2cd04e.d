@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcl_losspair-335cba8c5c2cd04e.d: crates/losspair/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libdcl_losspair-335cba8c5c2cd04e.rmeta: crates/losspair/src/lib.rs Cargo.toml
+
+crates/losspair/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

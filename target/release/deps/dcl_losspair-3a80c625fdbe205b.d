@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dcl_losspair-3a80c625fdbe205b.d: crates/losspair/src/lib.rs
+
+/root/repo/target/release/deps/libdcl_losspair-3a80c625fdbe205b.rlib: crates/losspair/src/lib.rs
+
+/root/repo/target/release/deps/libdcl_losspair-3a80c625fdbe205b.rmeta: crates/losspair/src/lib.rs
+
+crates/losspair/src/lib.rs:

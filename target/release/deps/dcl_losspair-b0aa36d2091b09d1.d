@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dcl_losspair-b0aa36d2091b09d1.d: crates/losspair/src/lib.rs
+
+/root/repo/target/release/deps/libdcl_losspair-b0aa36d2091b09d1.rlib: crates/losspair/src/lib.rs
+
+/root/repo/target/release/deps/libdcl_losspair-b0aa36d2091b09d1.rmeta: crates/losspair/src/lib.rs
+
+crates/losspair/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcl_losspair-dd3715662bb1ab2d.d: crates/losspair/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libdcl_losspair-dd3715662bb1ab2d.rmeta: crates/losspair/src/lib.rs Cargo.toml
+
+crates/losspair/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

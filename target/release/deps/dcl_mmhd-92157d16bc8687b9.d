@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcl_mmhd-92157d16bc8687b9.d: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs
+
+/root/repo/target/release/deps/libdcl_mmhd-92157d16bc8687b9.rlib: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs
+
+/root/repo/target/release/deps/libdcl_mmhd-92157d16bc8687b9.rmeta: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs
+
+crates/mmhd/src/lib.rs:
+crates/mmhd/src/em.rs:
+crates/mmhd/src/model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcl_mmhd-929394b82b3902be.d: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs
+
+/root/repo/target/release/deps/libdcl_mmhd-929394b82b3902be.rlib: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs
+
+/root/repo/target/release/deps/libdcl_mmhd-929394b82b3902be.rmeta: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs
+
+crates/mmhd/src/lib.rs:
+crates/mmhd/src/em.rs:
+crates/mmhd/src/model.rs:

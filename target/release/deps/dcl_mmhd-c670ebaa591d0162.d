@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dcl_mmhd-c670ebaa591d0162.d: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs Cargo.toml
+
+/root/repo/target/release/deps/libdcl_mmhd-c670ebaa591d0162.rmeta: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs Cargo.toml
+
+crates/mmhd/src/lib.rs:
+crates/mmhd/src/em.rs:
+crates/mmhd/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

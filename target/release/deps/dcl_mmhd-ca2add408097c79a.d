@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dcl_mmhd-ca2add408097c79a.d: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs Cargo.toml
+
+/root/repo/target/release/deps/libdcl_mmhd-ca2add408097c79a.rmeta: crates/mmhd/src/lib.rs crates/mmhd/src/em.rs crates/mmhd/src/model.rs Cargo.toml
+
+crates/mmhd/src/lib.rs:
+crates/mmhd/src/em.rs:
+crates/mmhd/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/dcl_netsim-161744b108cf996a.d: crates/netsim/src/lib.rs crates/netsim/src/event.rs crates/netsim/src/link.rs crates/netsim/src/packet.rs crates/netsim/src/probe.rs crates/netsim/src/queue.rs crates/netsim/src/scenarios.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/traffic/mod.rs crates/netsim/src/traffic/cbr.rs crates/netsim/src/traffic/onoff.rs crates/netsim/src/traffic/tcp.rs
+
+/root/repo/target/release/deps/libdcl_netsim-161744b108cf996a.rlib: crates/netsim/src/lib.rs crates/netsim/src/event.rs crates/netsim/src/link.rs crates/netsim/src/packet.rs crates/netsim/src/probe.rs crates/netsim/src/queue.rs crates/netsim/src/scenarios.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/traffic/mod.rs crates/netsim/src/traffic/cbr.rs crates/netsim/src/traffic/onoff.rs crates/netsim/src/traffic/tcp.rs
+
+/root/repo/target/release/deps/libdcl_netsim-161744b108cf996a.rmeta: crates/netsim/src/lib.rs crates/netsim/src/event.rs crates/netsim/src/link.rs crates/netsim/src/packet.rs crates/netsim/src/probe.rs crates/netsim/src/queue.rs crates/netsim/src/scenarios.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/traffic/mod.rs crates/netsim/src/traffic/cbr.rs crates/netsim/src/traffic/onoff.rs crates/netsim/src/traffic/tcp.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/probe.rs:
+crates/netsim/src/queue.rs:
+crates/netsim/src/scenarios.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/trace.rs:
+crates/netsim/src/traffic/mod.rs:
+crates/netsim/src/traffic/cbr.rs:
+crates/netsim/src/traffic/onoff.rs:
+crates/netsim/src/traffic/tcp.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/dcl_probnum-12fdb8ff3f11ff2b.d: crates/probnum/src/lib.rs crates/probnum/src/dist.rs crates/probnum/src/fb.rs crates/probnum/src/logspace.rs crates/probnum/src/markov.rs crates/probnum/src/matrix.rs crates/probnum/src/obs.rs crates/probnum/src/stats.rs crates/probnum/src/stochastic.rs Cargo.toml
+
+/root/repo/target/release/deps/libdcl_probnum-12fdb8ff3f11ff2b.rmeta: crates/probnum/src/lib.rs crates/probnum/src/dist.rs crates/probnum/src/fb.rs crates/probnum/src/logspace.rs crates/probnum/src/markov.rs crates/probnum/src/matrix.rs crates/probnum/src/obs.rs crates/probnum/src/stats.rs crates/probnum/src/stochastic.rs Cargo.toml
+
+crates/probnum/src/lib.rs:
+crates/probnum/src/dist.rs:
+crates/probnum/src/fb.rs:
+crates/probnum/src/logspace.rs:
+crates/probnum/src/markov.rs:
+crates/probnum/src/matrix.rs:
+crates/probnum/src/obs.rs:
+crates/probnum/src/stats.rs:
+crates/probnum/src/stochastic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dcl_telemetry-1de7f05bec69217b.d: crates/telemetry/src/lib.rs crates/telemetry/src/metrics.rs crates/telemetry/src/observer.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs Cargo.toml
+
+/root/repo/target/release/deps/libdcl_telemetry-1de7f05bec69217b.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/metrics.rs crates/telemetry/src/observer.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/observer.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dominant_congested_links-49855de09e152746.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libdominant_congested_links-49855de09e152746.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dominant_congested_links-5254dac1274c369e.d: src/lib.rs
+
+/root/repo/target/release/deps/libdominant_congested_links-5254dac1274c369e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdominant_congested_links-5254dac1274c369e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dominant_congested_links-9e826d6b035c335f.d: src/lib.rs
+
+/root/repo/target/release/deps/dominant_congested_links-9e826d6b035c335f: src/lib.rs
+
+src/lib.rs:

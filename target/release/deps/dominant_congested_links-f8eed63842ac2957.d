@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dominant_congested_links-f8eed63842ac2957.d: src/lib.rs
+
+/root/repo/target/release/deps/libdominant_congested_links-f8eed63842ac2957.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdominant_congested_links-f8eed63842ac2957.rmeta: src/lib.rs
+
+src/lib.rs:

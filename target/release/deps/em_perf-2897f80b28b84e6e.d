@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/em_perf-2897f80b28b84e6e.d: crates/bench/benches/em_perf.rs
+
+/root/repo/target/release/deps/em_perf-2897f80b28b84e6e: crates/bench/benches/em_perf.rs
+
+crates/bench/benches/em_perf.rs:

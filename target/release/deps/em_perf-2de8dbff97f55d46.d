@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/em_perf-2de8dbff97f55d46.d: crates/bench/benches/em_perf.rs Cargo.toml
+
+/root/repo/target/release/deps/libem_perf-2de8dbff97f55d46.rmeta: crates/bench/benches/em_perf.rs Cargo.toml
+
+crates/bench/benches/em_perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

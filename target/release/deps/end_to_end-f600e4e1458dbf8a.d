@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-f600e4e1458dbf8a.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-f600e4e1458dbf8a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extension_localization-04504c72d71457a7.d: tests/extension_localization.rs
+
+/root/repo/target/release/deps/extension_localization-04504c72d71457a7: tests/extension_localization.rs
+
+tests/extension_localization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/extension_localization-3e7a3ad1a33df5d2.d: tests/extension_localization.rs Cargo.toml
+
+/root/repo/target/release/deps/libextension_localization-3e7a3ad1a33df5d2.rmeta: tests/extension_localization.rs Cargo.toml
+
+tests/extension_localization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-5378cb1781fdf71d.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-5378cb1781fdf71d: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

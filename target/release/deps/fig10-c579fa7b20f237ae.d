@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10-c579fa7b20f237ae.d: crates/bench/src/bin/fig10.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10-c579fa7b20f237ae.rmeta: crates/bench/src/bin/fig10.rs Cargo.toml
+
+crates/bench/src/bin/fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-d3b9f5637f7668e1.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-d3b9f5637f7668e1: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

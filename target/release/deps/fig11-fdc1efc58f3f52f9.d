@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig11-fdc1efc58f3f52f9.d: crates/bench/src/bin/fig11.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig11-fdc1efc58f3f52f9.rmeta: crates/bench/src/bin/fig11.rs Cargo.toml
+
+crates/bench/src/bin/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

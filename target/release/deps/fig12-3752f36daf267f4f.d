@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-3752f36daf267f4f.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-3752f36daf267f4f: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

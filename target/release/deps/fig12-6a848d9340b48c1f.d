@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig12-6a848d9340b48c1f.d: crates/bench/src/bin/fig12.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig12-6a848d9340b48c1f.rmeta: crates/bench/src/bin/fig12.rs Cargo.toml
+
+crates/bench/src/bin/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

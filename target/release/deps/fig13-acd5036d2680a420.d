@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig13-acd5036d2680a420.d: crates/bench/src/bin/fig13.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig13-acd5036d2680a420.rmeta: crates/bench/src/bin/fig13.rs Cargo.toml
+
+crates/bench/src/bin/fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

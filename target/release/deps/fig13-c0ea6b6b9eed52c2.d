@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-c0ea6b6b9eed52c2.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-c0ea6b6b9eed52c2: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

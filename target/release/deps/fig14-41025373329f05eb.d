@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig14-41025373329f05eb.d: crates/bench/src/bin/fig14.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig14-41025373329f05eb.rmeta: crates/bench/src/bin/fig14.rs Cargo.toml
+
+crates/bench/src/bin/fig14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

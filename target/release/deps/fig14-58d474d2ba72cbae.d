@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-58d474d2ba72cbae.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-58d474d2ba72cbae: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

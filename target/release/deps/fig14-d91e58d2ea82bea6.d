@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig14-d91e58d2ea82bea6.d: crates/bench/src/bin/fig14.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig14-d91e58d2ea82bea6.rmeta: crates/bench/src/bin/fig14.rs Cargo.toml
+
+crates/bench/src/bin/fig14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

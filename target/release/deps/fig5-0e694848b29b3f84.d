@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig5-0e694848b29b3f84.d: crates/bench/src/bin/fig5.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig5-0e694848b29b3f84.rmeta: crates/bench/src/bin/fig5.rs Cargo.toml
+
+crates/bench/src/bin/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

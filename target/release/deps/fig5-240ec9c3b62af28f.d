@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig5-240ec9c3b62af28f.d: crates/bench/src/bin/fig5.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig5-240ec9c3b62af28f.rmeta: crates/bench/src/bin/fig5.rs Cargo.toml
+
+crates/bench/src/bin/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-a3669afe25cdaba7.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-a3669afe25cdaba7: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

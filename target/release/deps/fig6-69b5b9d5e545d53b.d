@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-69b5b9d5e545d53b.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-69b5b9d5e545d53b: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

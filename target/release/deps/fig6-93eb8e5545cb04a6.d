@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig6-93eb8e5545cb04a6.d: crates/bench/src/bin/fig6.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig6-93eb8e5545cb04a6.rmeta: crates/bench/src/bin/fig6.rs Cargo.toml
+
+crates/bench/src/bin/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

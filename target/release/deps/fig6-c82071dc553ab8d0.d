@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig6-c82071dc553ab8d0.d: crates/bench/src/bin/fig6.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig6-c82071dc553ab8d0.rmeta: crates/bench/src/bin/fig6.rs Cargo.toml
+
+crates/bench/src/bin/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig7-76c5518d2a08356b.d: crates/bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig7-76c5518d2a08356b.rmeta: crates/bench/src/bin/fig7.rs Cargo.toml
+
+crates/bench/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-e24c9f35e491ce1f.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-e24c9f35e491ce1f: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig8-74449d6f25e1b3d5.d: crates/bench/src/bin/fig8.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig8-74449d6f25e1b3d5.rmeta: crates/bench/src/bin/fig8.rs Cargo.toml
+
+crates/bench/src/bin/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-ba2f91f1eb448f8c.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-ba2f91f1eb448f8c: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-5bcd56b4f596cc1f.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-5bcd56b4f596cc1f: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

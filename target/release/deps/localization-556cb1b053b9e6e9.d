@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/localization-556cb1b053b9e6e9.d: crates/bench/src/bin/localization.rs
+
+/root/repo/target/release/deps/localization-556cb1b053b9e6e9: crates/bench/src/bin/localization.rs
+
+crates/bench/src/bin/localization.rs:

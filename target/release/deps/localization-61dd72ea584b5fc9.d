@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/localization-61dd72ea584b5fc9.d: crates/bench/src/bin/localization.rs Cargo.toml
+
+/root/repo/target/release/deps/liblocalization-61dd72ea584b5fc9.rmeta: crates/bench/src/bin/localization.rs Cargo.toml
+
+crates/bench/src/bin/localization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/localization-dcbd540577d685f6.d: crates/bench/src/bin/localization.rs Cargo.toml
+
+/root/repo/target/release/deps/liblocalization-dcbd540577d685f6.rmeta: crates/bench/src/bin/localization.rs Cargo.toml
+
+crates/bench/src/bin/localization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/observer-de2d95a4b04c33ee.d: crates/hmm/tests/observer.rs Cargo.toml
+
+/root/repo/target/release/deps/libobserver-de2d95a4b04c33ee.rmeta: crates/hmm/tests/observer.rs Cargo.toml
+
+crates/hmm/tests/observer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

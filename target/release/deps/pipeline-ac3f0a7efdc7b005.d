@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pipeline-ac3f0a7efdc7b005.d: crates/inet/tests/pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libpipeline-ac3f0a7efdc7b005.rmeta: crates/inet/tests/pipeline.rs Cargo.toml
+
+crates/inet/tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pipeline_perf-20c6f77a773f2f96.d: crates/bench/benches/pipeline_perf.rs Cargo.toml
+
+/root/repo/target/release/deps/libpipeline_perf-20c6f77a773f2f96.rmeta: crates/bench/benches/pipeline_perf.rs Cargo.toml
+
+crates/bench/benches/pipeline_perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-e2d653ac5b2e93a1.d: vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-e2d653ac5b2e93a1.rmeta: vendor/proptest/src/lib.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

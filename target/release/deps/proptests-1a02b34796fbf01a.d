@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-1a02b34796fbf01a.d: crates/clocksync/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-1a02b34796fbf01a.rmeta: crates/clocksync/tests/proptests.rs Cargo.toml
+
+crates/clocksync/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

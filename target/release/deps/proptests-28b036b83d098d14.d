@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-28b036b83d098d14.d: crates/losspair/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-28b036b83d098d14.rmeta: crates/losspair/tests/proptests.rs Cargo.toml
+
+crates/losspair/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-58cc36e5b340ea0d.d: crates/hmm/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-58cc36e5b340ea0d.rmeta: crates/hmm/tests/proptests.rs Cargo.toml
+
+crates/hmm/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-a72ae5ba96a662d6.d: crates/mmhd/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-a72ae5ba96a662d6.rmeta: crates/mmhd/tests/proptests.rs Cargo.toml
+
+crates/mmhd/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-c810661c92c59b16.d: crates/core/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-c810661c92c59b16.rmeta: crates/core/tests/proptests.rs Cargo.toml
+
+crates/core/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-ce10ebcc1d0a2e39.d: crates/netsim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-ce10ebcc1d0a2e39.rmeta: crates/netsim/tests/proptests.rs Cargo.toml
+
+crates/netsim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

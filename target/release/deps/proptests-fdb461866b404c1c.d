@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-fdb461866b404c1c.d: crates/probnum/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-fdb461866b404c1c.rmeta: crates/probnum/tests/proptests.rs Cargo.toml
+
+crates/probnum/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-19a3c69b31e72fea.d: vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-19a3c69b31e72fea.rmeta: vendor/rand/src/lib.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-df168e9411bc5b20.d: vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-df168e9411bc5b20.rmeta: vendor/rand/src/lib.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand_distr-126c81368b61adb3.d: vendor/rand_distr/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand_distr-126c81368b61adb3.rmeta: vendor/rand_distr/src/lib.rs Cargo.toml
+
+vendor/rand_distr/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_distr-3cc0121bba7d8daf.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-3cc0121bba7d8daf.rlib: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-3cc0121bba7d8daf.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

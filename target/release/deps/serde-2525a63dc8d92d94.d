@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/serde-2525a63dc8d92d94.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-2525a63dc8d92d94.rmeta: vendor/serde/src/lib.rs vendor/serde/src/value.rs Cargo.toml
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

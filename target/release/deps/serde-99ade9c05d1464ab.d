@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/serde-99ade9c05d1464ab.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-99ade9c05d1464ab.rmeta: vendor/serde/src/lib.rs vendor/serde/src/value.rs Cargo.toml
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_derive-f59c8bf6c502ea45.d: vendor/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_derive-f59c8bf6c502ea45.rmeta: vendor/serde_derive/src/lib.rs Cargo.toml
+
+vendor/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_json-b47aebf340053b16.d: vendor/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_json-b47aebf340053b16.rmeta: vendor/serde_json/src/lib.rs Cargo.toml
+
+vendor/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

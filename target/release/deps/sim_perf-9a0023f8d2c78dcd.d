@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sim_perf-9a0023f8d2c78dcd.d: crates/bench/benches/sim_perf.rs Cargo.toml
+
+/root/repo/target/release/deps/libsim_perf-9a0023f8d2c78dcd.rmeta: crates/bench/benches/sim_perf.rs Cargo.toml
+
+crates/bench/benches/sim_perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

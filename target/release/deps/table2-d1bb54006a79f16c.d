@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-d1bb54006a79f16c.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-d1bb54006a79f16c: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

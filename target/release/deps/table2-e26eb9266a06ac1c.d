@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table2-e26eb9266a06ac1c.d: crates/bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable2-e26eb9266a06ac1c.rmeta: crates/bench/src/bin/table2.rs Cargo.toml
+
+crates/bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-b9472cd3a8e4f072.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-b9472cd3a8e4f072: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-0ace99991f496749.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-0ace99991f496749: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

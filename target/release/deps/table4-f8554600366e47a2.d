@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table4-f8554600366e47a2.d: crates/bench/src/bin/table4.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable4-f8554600366e47a2.rmeta: crates/bench/src/bin/table4.rs Cargo.toml
+
+crates/bench/src/bin/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tcp_behavior-4207629cb0d8bfe4.d: crates/netsim/tests/tcp_behavior.rs Cargo.toml
+
+/root/repo/target/release/deps/libtcp_behavior-4207629cb0d8bfe4.rmeta: crates/netsim/tests/tcp_behavior.rs Cargo.toml
+
+crates/netsim/tests/tcp_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

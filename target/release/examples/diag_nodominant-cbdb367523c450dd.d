@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/diag_nodominant-cbdb367523c450dd.d: examples/diag_nodominant.rs
+
+/root/repo/target/release/examples/diag_nodominant-cbdb367523c450dd: examples/diag_nodominant.rs
+
+examples/diag_nodominant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/diag_snu-7880ab8de07b2ce3.d: examples/diag_snu.rs
+
+/root/repo/target/release/examples/diag_snu-7880ab8de07b2ce3: examples/diag_snu.rs
+
+examples/diag_snu.rs:

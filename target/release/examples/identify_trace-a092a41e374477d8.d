@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/identify_trace-a092a41e374477d8.d: examples/identify_trace.rs
+
+/root/repo/target/release/examples/identify_trace-a092a41e374477d8: examples/identify_trace.rs
+
+examples/identify_trace.rs:

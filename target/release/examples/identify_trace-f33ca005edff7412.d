@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/identify_trace-f33ca005edff7412.d: examples/identify_trace.rs Cargo.toml
+
+/root/repo/target/release/examples/libidentify_trace-f33ca005edff7412.rmeta: examples/identify_trace.rs Cargo.toml
+
+examples/identify_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

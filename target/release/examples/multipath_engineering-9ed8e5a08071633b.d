@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/multipath_engineering-9ed8e5a08071633b.d: examples/multipath_engineering.rs Cargo.toml
+
+/root/repo/target/release/examples/libmultipath_engineering-9ed8e5a08071633b.rmeta: examples/multipath_engineering.rs Cargo.toml
+
+examples/multipath_engineering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multipath_engineering-f514c8d2080fb734.d: examples/multipath_engineering.rs
+
+/root/repo/target/release/examples/multipath_engineering-f514c8d2080fb734: examples/multipath_engineering.rs
+
+examples/multipath_engineering.rs:

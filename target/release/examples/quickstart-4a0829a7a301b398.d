@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-4a0829a7a301b398.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-4a0829a7a301b398: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-f83ceeeca3d2dd1c.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-f83ceeeca3d2dd1c.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

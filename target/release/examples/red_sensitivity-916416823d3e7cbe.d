@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/red_sensitivity-916416823d3e7cbe.d: examples/red_sensitivity.rs
+
+/root/repo/target/release/examples/red_sensitivity-916416823d3e7cbe: examples/red_sensitivity.rs
+
+examples/red_sensitivity.rs:

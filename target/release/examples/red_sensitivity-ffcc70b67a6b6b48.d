@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/red_sensitivity-ffcc70b67a6b6b48.d: examples/red_sensitivity.rs Cargo.toml
+
+/root/repo/target/release/examples/libred_sensitivity-ffcc70b67a6b6b48.rmeta: examples/red_sensitivity.rs Cargo.toml
+
+examples/red_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

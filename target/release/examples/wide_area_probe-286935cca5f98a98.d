@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/wide_area_probe-286935cca5f98a98.d: examples/wide_area_probe.rs Cargo.toml
+
+/root/repo/target/release/examples/libwide_area_probe-286935cca5f98a98.rmeta: examples/wide_area_probe.rs Cargo.toml
+
+examples/wide_area_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

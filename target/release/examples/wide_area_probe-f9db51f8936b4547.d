@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/wide_area_probe-f9db51f8936b4547.d: examples/wide_area_probe.rs
+
+/root/repo/target/release/examples/wide_area_probe-f9db51f8936b4547: examples/wide_area_probe.rs
+
+examples/wide_area_probe.rs:
