@@ -8,7 +8,9 @@
 #   1. release build + full test suite (default thread resolution);
 #   2. the determinism suite again, pinned to 2 worker threads, to prove
 #      results are independent of the thread count CI happens to have;
-#   3. clippy with warnings denied on the crates this layer touches.
+#   3. an instrumented smoke run whose JSONL artifact must parse back
+#      through the event schema (obs_check);
+#   4. clippy with warnings denied on the crates this layer touches.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -23,8 +25,18 @@ DCL_PARALLELISM=2 RAYON_NUM_THREADS=2 cargo test -q \
 DCL_PARALLELISM=2 RAYON_NUM_THREADS=2 cargo test -q -p dcl-hmm --test proptests
 DCL_PARALLELISM=2 RAYON_NUM_THREADS=2 cargo test -q -p dcl-mmhd --test proptests
 
+echo "== instrumented smoke run + artifact validation"
+OBS_ARTIFACT=$(mktemp -t dcl-obs-smoke.XXXXXX.jsonl)
+trap 'rm -f "$OBS_ARTIFACT"' EXIT
+# 40 s of measured time is the shortest run that reliably produces losses
+# on the strongly-dominant scenario; the artifact must be non-empty,
+# parse line-by-line through the Event schema, and cover the four core
+# event kinds (em-iteration, queue-stats, test-decision, span-timing).
+cargo run --release -q -p dcl-bench --bin table2 -- 40 --obs "$OBS_ARTIFACT"
+cargo run --release -q -p dcl-bench --bin obs_check -- "$OBS_ARTIFACT" 4
+
 echo "== clippy (deny warnings) on the parallel-layer crates"
-cargo clippy -q -p dcl-parallel -p dcl-probnum -p dcl-hmm -p dcl-mmhd \
-  -p dcl-core -p dcl-bench --all-targets -- -D warnings
+cargo clippy -q -p dcl-parallel -p dcl-obs -p dcl-probnum -p dcl-hmm \
+  -p dcl-mmhd -p dcl-core -p dcl-bench --all-targets -- -D warnings
 
 echo "CI OK"

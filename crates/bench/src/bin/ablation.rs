@@ -11,7 +11,7 @@
 //! estimate to the simulator's ground-truth virtual distribution and
 //! whether the WDCL verdict is correct.
 //!
-//! Run: `cargo run --release -p dcl-bench --bin ablation [measure_secs]`
+//! Run: `cargo run --release -p dcl-bench --bin ablation [measure_secs] [--obs <path>]`
 
 use dcl_bench::{no_dcl_setting, print_header, print_row, weakly_setting, ExperimentLog, WARMUP_SECS};
 use dcl_core::discretize::Discretizer;
@@ -72,10 +72,8 @@ fn evaluate(trace: &ProbeTrace, expect_dominant: bool, log: &ExperimentLog, scen
 }
 
 fn main() {
-    let measure: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(dcl_bench::MEASURE_SECS);
+    let cli = dcl_bench::cli::init();
+    let measure: f64 = cli.pos_f64(0).unwrap_or(dcl_bench::MEASURE_SECS);
     let log = ExperimentLog::new("ablation");
     print_header("Ablation", "estimator design choices (DESIGN.md §7)");
 

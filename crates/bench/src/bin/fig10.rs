@@ -5,17 +5,15 @@
 //! identification can be wrong. With a large threshold (1/2 of the buffer)
 //! RED behaves nearly like droptail and identification is correct.
 //!
-//! Run: `cargo run --release -p dcl-bench --bin fig10 [measure_secs]`
+//! Run: `cargo run --release -p dcl-bench --bin fig10 [measure_secs] [--obs <path>]`
 
 use dcl_bench::{print_header, print_pmf_rows, strongly_setting, ExperimentLog, WARMUP_SECS};
 use dcl_core::identify::{identify, IdentifyConfig, Verdict};
 use serde_json::json;
 
 fn main() {
-    let measure: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(dcl_bench::MEASURE_SECS);
+    let cli = dcl_bench::cli::init();
+    let measure: f64 = cli.pos_f64(0).unwrap_or(dcl_bench::MEASURE_SECS);
     let log = ExperimentLog::new("fig10");
 
     print_header(

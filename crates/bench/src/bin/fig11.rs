@@ -3,17 +3,15 @@
 //! collective behaviour of two congested RED queues still fails the
 //! WDCL-Test, so the method keeps rejecting (correctly).
 //!
-//! Run: `cargo run --release -p dcl-bench --bin fig11 [measure_secs]`
+//! Run: `cargo run --release -p dcl-bench --bin fig11 [measure_secs] [--obs <path>]`
 
 use dcl_bench::{no_dcl_setting, print_header, print_pmf_rows, ExperimentLog, WARMUP_SECS};
 use dcl_core::identify::{identify, IdentifyConfig, Verdict};
 use serde_json::json;
 
 fn main() {
-    let measure: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(dcl_bench::MEASURE_SECS);
+    let cli = dcl_bench::cli::init();
+    let measure: f64 = cli.pos_f64(0).unwrap_or(dcl_bench::MEASURE_SECS);
     let log = ExperimentLog::new("fig11");
 
     print_header(

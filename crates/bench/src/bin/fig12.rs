@@ -4,7 +4,7 @@
 //! `(0.05, 0.05)` accepts — one low-bandwidth hop deep in the path
 //! dominates.
 //!
-//! Run: `cargo run --release -p dcl-bench --bin fig12 [measure_secs]`
+//! Run: `cargo run --release -p dcl-bench --bin fig12 [measure_secs] [--obs <path>]`
 
 use dcl_bench::{print_header, print_pmf_rows, ExperimentLog};
 use dcl_core::discretize::Discretizer;
@@ -16,10 +16,8 @@ use serde_json::json;
 
 fn main() {
     // The paper analyses 20-minute stationary segments.
-    let measure: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1200.0);
+    let cli = dcl_bench::cli::init();
+    let measure: f64 = cli.pos_f64(0).unwrap_or(1200.0);
     let log = ExperimentLog::new("fig12");
 
     print_header(

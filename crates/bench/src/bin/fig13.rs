@@ -4,7 +4,7 @@
 //! congested hop mid-path, so the test rejects — matching the paper's
 //! pchar cross-check.
 //!
-//! Run: `cargo run --release -p dcl-bench --bin fig13 [measure_secs]`
+//! Run: `cargo run --release -p dcl-bench --bin fig13 [measure_secs] [--obs <path>]`
 
 use dcl_bench::{print_header, print_pmf_rows, ExperimentLog};
 use dcl_core::discretize::Discretizer;
@@ -67,10 +67,8 @@ fn run_panel(
 }
 
 fn main() {
-    let measure: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1200.0);
+    let cli = dcl_bench::cli::init();
+    let measure: f64 = cli.pos_f64(0).unwrap_or(1200.0);
     let log = ExperimentLog::new("fig13");
     print_header(
         "Fig. 13",

@@ -4,7 +4,7 @@
 //! (minimum of the segment). The paper finds the two indistinguishable and
 //! full consistency above ~12 minutes.
 //!
-//! Run: `cargo run --release -p dcl-bench --bin fig14 [reps] [base_secs]`
+//! Run: `cargo run --release -p dcl-bench --bin fig14 [reps] [base_secs] [--obs <path>]`
 
 use dcl_bench::{print_header, print_row, ExperimentLog};
 use dcl_core::identify::IdentifyConfig;
@@ -14,8 +14,9 @@ use dcl_netsim::time::Dur;
 use serde_json::json;
 
 fn main() {
-    let reps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
-    let base: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1200.0);
+    let cli = dcl_bench::cli::init();
+    let reps: usize = cli.pos_usize(0).unwrap_or(40);
+    let base: f64 = cli.pos_f64(1).unwrap_or(1200.0);
     let log = ExperimentLog::new("fig14");
 
     print_header(

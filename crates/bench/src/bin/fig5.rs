@@ -6,7 +6,7 @@
 //! delay distribution of delivered probes spreads over all symbols — the
 //! contrast that motivates inferring the virtual distribution at all.
 //!
-//! Run: `cargo run --release -p dcl-bench --bin fig5 [measure_secs]`
+//! Run: `cargo run --release -p dcl-bench --bin fig5 [measure_secs] [--obs <path>]`
 
 use dcl_bench::{print_header, print_pmf_rows, strongly_setting, ExperimentLog, WARMUP_SECS};
 use dcl_core::discretize::Discretizer;
@@ -14,10 +14,8 @@ use dcl_core::estimators::{GroundTruth, MmhdEstimator, VqdEstimator};
 use serde_json::json;
 
 fn main() {
-    let measure: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(dcl_bench::MEASURE_SECS);
+    let cli = dcl_bench::cli::init();
+    let measure: f64 = cli.pos_f64(0).unwrap_or(dcl_bench::MEASURE_SECS);
     let log = ExperimentLog::new("fig5");
 
     print_header(

@@ -2,7 +2,7 @@
 //! congested link: the MMHD estimates (several N) track the ns ground
 //! truth, with a small secondary mass from the minor lossy hop.
 //!
-//! Run: `cargo run --release -p dcl-bench --bin fig6 [measure_secs]`
+//! Run: `cargo run --release -p dcl-bench --bin fig6 [measure_secs] [--obs <path>]`
 
 use dcl_bench::{print_header, print_pmf_rows, weakly_setting, ExperimentLog, WARMUP_SECS};
 use dcl_core::discretize::Discretizer;
@@ -11,10 +11,8 @@ use dcl_core::hyptest::{sdcl_test, wdcl_test, WdclParams};
 use serde_json::json;
 
 fn main() {
-    let measure: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(dcl_bench::MEASURE_SECS);
+    let cli = dcl_bench::cli::init();
+    let measure: f64 = cli.pos_f64(0).unwrap_or(dcl_bench::MEASURE_SECS);
     let log = ExperimentLog::new("fig6");
 
     print_header(

@@ -2,7 +2,7 @@
 //! weakly dominant setting, and the connected-component heuristic bound on
 //! the dominant link's maximum queuing delay.
 //!
-//! Run: `cargo run --release -p dcl-bench --bin fig7 [measure_secs]`
+//! Run: `cargo run --release -p dcl-bench --bin fig7 [measure_secs] [--obs <path>]`
 
 use dcl_bench::{print_header, weakly_setting, ExperimentLog, WARMUP_SECS};
 use dcl_core::bound::{heuristic_upper_bound, HeuristicParams};
@@ -12,10 +12,8 @@ use dcl_netsim::time::Dur;
 use serde_json::json;
 
 fn main() {
-    let measure: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(dcl_bench::MEASURE_SECS);
+    let cli = dcl_bench::cli::init();
+    let measure: f64 = cli.pos_f64(0).unwrap_or(dcl_bench::MEASURE_SECS);
     let log = ExperimentLog::new("fig7");
 
     print_header(

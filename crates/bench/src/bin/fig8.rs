@@ -2,7 +2,7 @@
 //! congested link exists: the MMHD tracks the ns ground truth (bimodal),
 //! while the HMM's estimate deviates — the paper's argument for MMHD.
 //!
-//! Run: `cargo run --release -p dcl-bench --bin fig8 [measure_secs]`
+//! Run: `cargo run --release -p dcl-bench --bin fig8 [measure_secs] [--obs <path>]`
 
 use dcl_bench::{no_dcl_setting, print_header, print_pmf_rows, ExperimentLog, WARMUP_SECS};
 use dcl_core::discretize::Discretizer;
@@ -10,10 +10,8 @@ use dcl_core::estimators::{GroundTruth, HmmEstimator, MmhdEstimator, VqdEstimato
 use serde_json::json;
 
 fn main() {
-    let measure: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(dcl_bench::MEASURE_SECS);
+    let cli = dcl_bench::cli::init();
+    let measure: f64 = cli.pos_f64(0).unwrap_or(dcl_bench::MEASURE_SECS);
     let log = ExperimentLog::new("fig8");
 
     print_header(

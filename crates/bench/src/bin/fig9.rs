@@ -4,7 +4,7 @@
 //! of segments whose verdict matches the ground truth is reported per
 //! duration. The paper finds ~80 s suffices for (a) and ~250 s for (b).
 //!
-//! Run: `cargo run --release -p dcl-bench --bin fig9 [reps] [base_secs]`
+//! Run: `cargo run --release -p dcl-bench --bin fig9 [reps] [base_secs] [--obs <path>]`
 //! (defaults: 40 repetitions over a 600 s base trace; the paper uses 400
 //! repetitions over 1000 s).
 
@@ -56,8 +56,9 @@ fn correct_ratio(
 }
 
 fn main() {
-    let reps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
-    let base: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(600.0);
+    let cli = dcl_bench::cli::init();
+    let reps: usize = cli.pos_usize(0).unwrap_or(40);
+    let base: f64 = cli.pos_f64(1).unwrap_or(600.0);
     let log = ExperimentLog::new("fig9");
     let durations = [20.0, 40.0, 80.0, 160.0, 250.0, 400.0];
 

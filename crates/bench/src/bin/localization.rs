@@ -2,7 +2,7 @@
 //! work): binary search over path prefixes finds which hop is dominant in
 //! O(log K) probing sessions. See `dcl_core::localize`.
 //!
-//! Run: `cargo run --release -p dcl-bench --bin localization [measure_secs]`
+//! Run: `cargo run --release -p dcl-bench --bin localization [measure_secs] [--obs <path>]`
 
 use dcl_bench::print_header;
 use dcl_core::identify::IdentifyConfig;
@@ -11,10 +11,8 @@ use dcl_netsim::scenarios::{HopSpec, TrafficMix, UdpCross};
 use dcl_netsim::time::Dur;
 
 fn main() {
-    let measure: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(120.0);
+    let cli = dcl_bench::cli::init();
+    let measure: f64 = cli.pos_f64(0).unwrap_or(120.0);
     print_header(
         "Localization",
         "binary search for the dominant congested link over path prefixes",

@@ -1,0 +1,74 @@
+//! Validate an observability JSONL artifact: every line must round-trip
+//! through the [`dcl_obs::Event`] schema, the file must be non-empty, and
+//! (optionally) a minimum number of distinct event kinds must appear.
+//! Exits non-zero on any violation — CI runs this against the artifact of
+//! an instrumented smoke run.
+//!
+//! Run: `cargo run -p dcl-bench --bin obs_check -- <path> [min_kinds]`
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: obs_check <path> [min_kinds]");
+        return ExitCode::from(2);
+    };
+    let min_kinds: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut events = 0usize;
+    let mut kinds = BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev: dcl_obs::Event = match serde_json::from_str(line) {
+            Ok(ev) => ev,
+            Err(e) => {
+                eprintln!("obs_check: {path}:{}: invalid event: {e}", i + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        // Round-trip: re-serialising must yield a parseable, equal event.
+        let back: dcl_obs::Event =
+            serde_json::from_str(&serde_json::to_string(&ev).expect("serializable"))
+                .expect("round-trip");
+        if back != ev {
+            eprintln!("obs_check: {path}:{}: event does not round-trip", i + 1);
+            return ExitCode::FAILURE;
+        }
+        kinds.insert(ev.kind());
+        events += 1;
+    }
+
+    if events == 0 {
+        eprintln!("obs_check: {path} contains no events");
+        return ExitCode::FAILURE;
+    }
+    if kinds.len() < min_kinds {
+        eprintln!(
+            "obs_check: {path} has {} event kind(s) {:?}, expected >= {min_kinds}",
+            kinds.len(),
+            kinds
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "obs_check: {path}: {events} events, {} kinds: {}",
+        kinds.len(),
+        kinds.into_iter().collect::<Vec<_>>().join(", ")
+    );
+    ExitCode::SUCCESS
+}

@@ -4,7 +4,7 @@
 //! delay beats the loss-pair baseline (which the other lossy hop's queue
 //! contaminates).
 //!
-//! Run: `cargo run --release -p dcl-bench --bin table3 [measure_secs]`
+//! Run: `cargo run --release -p dcl-bench --bin table3 [measure_secs] [--obs <path>]`
 
 use dcl_bench::{print_header, print_row, weakly_setting, ExperimentLog, WARMUP_SECS};
 use dcl_core::identify::{identify, IdentifyConfig, Verdict};
@@ -12,10 +12,8 @@ use dcl_netsim::time::Dur;
 use serde_json::json;
 
 fn main() {
-    let measure: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(dcl_bench::MEASURE_SECS);
+    let cli = dcl_bench::cli::init();
+    let measure: f64 = cli.pos_f64(0).unwrap_or(dcl_bench::MEASURE_SECS);
     let log = ExperimentLog::new("table3");
 
     print_header(

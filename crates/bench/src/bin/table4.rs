@@ -1,17 +1,15 @@
 //! **Table IV** — no dominant congested link: two hops with comparable
 //! loss rates; the WDCL-Test at `(0.06, 0)` must reject every setting.
 //!
-//! Run: `cargo run --release -p dcl-bench --bin table4 [measure_secs]`
+//! Run: `cargo run --release -p dcl-bench --bin table4 [measure_secs] [--obs <path>]`
 
 use dcl_bench::{no_dcl_setting, print_header, print_row, ExperimentLog, WARMUP_SECS};
 use dcl_core::identify::{identify, IdentifyConfig, Verdict};
 use serde_json::json;
 
 fn main() {
-    let measure: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(dcl_bench::MEASURE_SECS);
+    let cli = dcl_bench::cli::init();
+    let measure: f64 = cli.pos_f64(0).unwrap_or(dcl_bench::MEASURE_SECS);
     let log = ExperimentLog::new("table4");
 
     print_header(

@@ -1,0 +1,129 @@
+//! Shared command-line handling for the experiment binaries.
+//!
+//! Every bin accepts the same surface: positional arguments (whatever the
+//! binary documents — measure seconds, repetitions) plus the common
+//! `--obs <path>` flag that streams the run's observability events to a
+//! JSONL artifact. `DCL_OBS=1` without `--obs` enables instrumentation
+//! with only the end-of-run summary table (no artifact).
+//!
+//! ```text
+//! DCL_OBS=1 cargo run --release -p dcl-bench --bin table2 -- 60 --obs run.jsonl
+//! ```
+//!
+//! [`init`] parses the arguments and installs the recorder; the returned
+//! [`Cli`] hands out positionals and, on drop at the end of `main`,
+//! finishes the recorder and prints the summary.
+
+use std::path::PathBuf;
+
+/// Parsed command line plus the observability-run guard.
+#[derive(Debug)]
+pub struct Cli {
+    positionals: Vec<String>,
+    obs_path: Option<PathBuf>,
+    obs_active: bool,
+}
+
+/// Parse the process arguments and set up observability.
+///
+/// Recognises `--obs <path>` and `--obs=<path>` anywhere on the line;
+/// everything else is collected as positionals in order. With `--obs` a
+/// [`dcl_obs::JsonlSink`] is installed and instrumentation enabled; with
+/// only `DCL_OBS` set, instrumentation is enabled summary-only.
+pub fn init() -> Cli {
+    let mut positionals = Vec::new();
+    let mut obs_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if let Some(path) = arg.strip_prefix("--obs=") {
+            obs_path = Some(PathBuf::from(path));
+        } else if arg == "--obs" {
+            match args.next() {
+                Some(path) => obs_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--obs requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            positionals.push(arg);
+        }
+    }
+
+    let obs_active = if let Some(path) = &obs_path {
+        match dcl_obs::JsonlSink::create(path) {
+            Ok(sink) => {
+                dcl_obs::install(Box::new(sink));
+                true
+            }
+            Err(e) => {
+                eprintln!("cannot create obs artifact {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    } else {
+        dcl_obs::init_from_env()
+    };
+
+    Cli {
+        positionals,
+        obs_path,
+        obs_active,
+    }
+}
+
+impl Cli {
+    /// The `idx`-th positional argument, if present.
+    pub fn pos(&self, idx: usize) -> Option<&str> {
+        self.positionals.get(idx).map(String::as_str)
+    }
+
+    /// The `idx`-th positional parsed as `f64` (unparseable counts as
+    /// absent, matching the binaries' historical lenient parsing).
+    pub fn pos_f64(&self, idx: usize) -> Option<f64> {
+        self.pos(idx).and_then(|s| s.parse().ok())
+    }
+
+    /// The `idx`-th positional parsed as `usize`.
+    pub fn pos_usize(&self, idx: usize) -> Option<usize> {
+        self.pos(idx).and_then(|s| s.parse().ok())
+    }
+
+    /// Where the JSONL artifact is being written, if `--obs` was given.
+    pub fn obs_path(&self) -> Option<&std::path::Path> {
+        self.obs_path.as_deref()
+    }
+}
+
+impl Drop for Cli {
+    fn drop(&mut self) {
+        if !self.obs_active {
+            return;
+        }
+        if let Some(summary) = dcl_obs::finish() {
+            eprint!("{}", summary.render());
+            if let Some(path) = &self.obs_path {
+                eprintln!("obs artifact: {}", path.display());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positional_accessors_parse_leniently() {
+        let cli = Cli {
+            positionals: vec!["60".into(), "abc".into()],
+            obs_path: None,
+            obs_active: false,
+        };
+        assert_eq!(cli.pos_f64(0), Some(60.0));
+        assert_eq!(cli.pos_f64(1), None);
+        assert_eq!(cli.pos_usize(0), Some(60));
+        assert_eq!(cli.pos(2), None);
+        assert!(cli.obs_path().is_none());
+    }
+}

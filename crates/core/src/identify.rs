@@ -183,6 +183,7 @@ fn make_estimator(cfg: &IdentifyConfig) -> Box<dyn VqdEstimator> {
 
 /// Run the full pipeline on a probe trace.
 pub fn identify(trace: &ProbeTrace, cfg: &IdentifyConfig) -> Result<Identification, IdentifyError> {
+    let _span = dcl_obs::span("identify");
     if trace.is_empty() {
         return Err(IdentifyError::EmptyTrace);
     }
@@ -229,6 +230,18 @@ pub fn identify(trace: &ProbeTrace, cfg: &IdentifyConfig) -> Result<Identificati
     } else {
         (None, None)
     };
+
+    dcl_obs::record_with(|| dcl_obs::Event::Identification {
+        verdict: match verdict {
+            Verdict::StronglyDominant => "strongly-dominant",
+            Verdict::WeaklyDominant => "weakly-dominant",
+            Verdict::NoDominant => "no-dominant",
+        }
+        .to_string(),
+        num_probes: trace.len(),
+        loss_rate: trace.loss_rate(),
+        bin_width_us: disc.bin_width().as_nanos() / 1_000,
+    });
 
     Ok(Identification {
         verdict,

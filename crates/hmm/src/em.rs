@@ -261,6 +261,7 @@ pub fn fit(obs: &[Obs], opts: &EmOptions) -> FitResult {
         // mutable RNG, so the parallel schedule cannot affect any draw. The
         // 0x9E37 stride decorrelates nearby restart seeds and matches the
         // historical serial derivation bit-for-bit.
+        let _span = dcl_obs::span("hmm.em.restart");
         let mut rng = SmallRng::seed_from_u64(opts.seed.wrapping_add(r as u64 * 0x9E37));
         let mut model = Hmm::random(opts.num_states, opts.num_symbols, &mut rng);
         if opts.restrict_loss_to_observed {
@@ -276,6 +277,13 @@ pub fn fit(obs: &[Obs], opts: &EmOptions) -> FitResult {
             iterations = it + 1;
             let delta = next.max_param_diff(&model);
             model = next;
+            dcl_obs::record_with(|| dcl_obs::Event::EmIteration {
+                model: "hmm".to_string(),
+                restart: r,
+                iteration: it + 1,
+                log_likelihood: ll,
+                max_param_delta: delta,
+            });
             if delta < opts.tol {
                 converged = true;
                 break;
@@ -283,6 +291,14 @@ pub fn fit(obs: &[Obs], opts: &EmOptions) -> FitResult {
         }
         // Likelihood of the final model (one more forward pass).
         let final_ll = model.log_likelihood(obs).max(last_ll);
+        dcl_obs::record_with(|| dcl_obs::Event::EmRestart {
+            model: "hmm".to_string(),
+            restart: r,
+            iterations,
+            converged,
+            reason: if converged { "tol" } else { "max-iters" }.to_string(),
+            log_likelihood: final_ll,
+        });
         FitResult {
             model,
             log_likelihood: final_ll,

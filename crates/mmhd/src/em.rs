@@ -272,6 +272,7 @@ pub fn fit(obs: &[Obs], opts: &EmOptions) -> FitResult {
         // mutable RNG, so the parallel schedule cannot affect any draw. The
         // 0x9E37 stride decorrelates nearby restart seeds and matches the
         // historical serial derivation bit-for-bit.
+        let _span = dcl_obs::span("mmhd.em.restart");
         let mut rng = SmallRng::seed_from_u64(opts.seed.wrapping_add(r as u64 * 0x9E37));
         let mut model = if opts.empirical_init {
             Mmhd::empirical_init(obs, opts.num_hidden, opts.num_symbols, &mut rng)
@@ -286,16 +287,31 @@ pub fn fit(obs: &[Obs], opts: &EmOptions) -> FitResult {
         let mut iterations = 0;
         let mut converged = false;
         for it in 0..opts.max_iters {
-            let (next, _ll) = em_step_with(&model, obs, &mut scratch);
+            let (next, ll) = em_step_with(&model, obs, &mut scratch);
             iterations = it + 1;
             let delta = next.max_param_diff(&model);
             model = next;
+            dcl_obs::record_with(|| dcl_obs::Event::EmIteration {
+                model: "mmhd".to_string(),
+                restart: r,
+                iteration: it + 1,
+                log_likelihood: ll,
+                max_param_delta: delta,
+            });
             if delta < opts.tol {
                 converged = true;
                 break;
             }
         }
         let final_ll = model.log_likelihood(obs);
+        dcl_obs::record_with(|| dcl_obs::Event::EmRestart {
+            model: "mmhd".to_string(),
+            restart: r,
+            iterations,
+            converged,
+            reason: if converged { "tol" } else { "max-iters" }.to_string(),
+            log_likelihood: final_ll,
+        });
         FitResult {
             model,
             log_likelihood: final_ll,

@@ -118,6 +118,40 @@ proptest! {
     }
 
     #[test]
+    /// Instrumentation is a pure tap: running the full fit with the
+    /// observability layer enabled (no-op recorder) must reproduce the
+    /// disabled-path result to the last bit, while actually emitting
+    /// events.
+    #[test]
+    fn fit_is_bit_identical_with_instrumentation_enabled((model, seed) in random_model()) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x0B5E);
+        let obs = model.generate(&mut rng, 300);
+        let opts = dcl_mmhd::EmOptions {
+            num_hidden: model.num_hidden(),
+            num_symbols: model.num_symbols(),
+            tol: 1e-3,
+            max_iters: 10,
+            seed,
+            restarts: 2,
+            restrict_loss_to_observed: true,
+            empirical_init: false,
+            tied_loss: false,
+            parallelism: Some(1),
+        };
+        dcl_obs::set_enabled(false);
+        let off = dcl_mmhd::fit(&obs, &opts);
+        dcl_obs::set_enabled(true);
+        let (on, events) = dcl_obs::capture(|| dcl_mmhd::fit(&obs, &opts));
+        dcl_obs::set_enabled(false);
+        prop_assert!(!events.is_empty(), "enabled fit emitted no events");
+        prop_assert!(events.iter().any(|e| e.kind() == "em-restart"));
+        prop_assert_eq!(off.log_likelihood.to_bits(), on.log_likelihood.to_bits());
+        prop_assert_eq!(off.iterations, on.iterations);
+        prop_assert_eq!(off.converged, on.converged);
+        assert_models_identical(&off.model, &on.model)?;
+    }
+
+    #[test]
     fn empirical_init_produces_a_valid_model(
         (model, seed) in random_model(),
         tie in any::<bool>(),

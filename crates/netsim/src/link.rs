@@ -10,7 +10,7 @@
 use crate::packet::{Packet, Payload};
 use crate::queue::{BufferLimit, Discipline, RedVerdict};
 use crate::time::{Dur, Time};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Number, Serialize, Value};
 use std::collections::VecDeque;
 
 /// Static configuration of a link.
@@ -75,9 +75,89 @@ pub struct LinkStats {
     pub probe_drops: u64,
     /// Time the transmitter has spent busy.
     pub busy: Dur,
+    /// Maximum backlog (queuing) delay any arrival observed. Simulated
+    /// time, so deterministic. Only maintained while `dcl_obs` is
+    /// enabled.
+    pub max_backlog: Dur,
+    /// Queue occupancy (packets, including the one in service) at
+    /// arrival, log2-bucketed: bucket 0 is an empty queue, bucket `b`
+    /// counts occupancies in `[2^(b-1), 2^b)`, the last bucket saturates.
+    /// Only maintained while `dcl_obs` is enabled.
+    pub occupancy_hist: Hist16,
+    /// Backlog delay at arrival in whole milliseconds, bucketed the same
+    /// way. Only maintained while `dcl_obs` is enabled.
+    pub backlog_hist_ms: Hist16,
+}
+
+/// A fixed 16-bucket log2 histogram, serialised as a plain JSON array.
+/// (A newtype rather than a bare `[u64; 16]` so it can carry serde impls;
+/// the derive has none for fixed-size arrays.)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Hist16(pub [u64; 16]);
+
+impl std::ops::Deref for Hist16 {
+    type Target = [u64; 16];
+    fn deref(&self) -> &[u64; 16] {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for Hist16 {
+    fn deref_mut(&mut self) -> &mut [u64; 16] {
+        &mut self.0
+    }
+}
+
+impl PartialEq<[u64; 16]> for Hist16 {
+    fn eq(&self, other: &[u64; 16]) -> bool {
+        &self.0 == other
+    }
+}
+
+impl Serialize for Hist16 {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.0
+                .iter()
+                .map(|&x| Value::Number(Number::PosInt(x)))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for Hist16 {
+    fn from_value(v: &Value) -> Result<Hist16, DeError> {
+        match v {
+            Value::Array(xs) if xs.len() == 16 => {
+                let mut h = [0u64; 16];
+                for (slot, x) in h.iter_mut().zip(xs) {
+                    *slot = x.as_u64().ok_or_else(|| {
+                        DeError::new("histogram entry is not an unsigned integer")
+                    })?;
+                }
+                Ok(Hist16(h))
+            }
+            _ => Err(DeError::new("expected a 16-element histogram array")),
+        }
+    }
+}
+
+/// Log2 bucket index for the observability histograms: 0 maps to bucket
+/// 0, `v` ≥ 1 to `1 + floor(log2 v)`, saturating at the last bucket.
+fn log2_bucket(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(15)
 }
 
 impl LinkStats {
+    /// Fold one arrival's queue depth into the observability histograms.
+    /// Called by [`Link::enqueue`] only while instrumentation is enabled;
+    /// the fields stay at their defaults otherwise.
+    fn note_arrival_depth(&mut self, q_pkts: usize, backlog: Dur) {
+        self.max_backlog = self.max_backlog.max(backlog);
+        self.occupancy_hist[log2_bucket(q_pkts as u64)] += 1;
+        self.backlog_hist_ms[log2_bucket(backlog.as_nanos() / 1_000_000)] += 1;
+    }
+
     /// Fraction of offered packets that were dropped.
     pub fn loss_rate(&self) -> f64 {
         if self.arrivals == 0 {
@@ -227,6 +307,11 @@ impl Link {
         let is_probe = matches!(pkt.payload, Payload::Probe(_));
         if is_probe {
             self.stats.probe_arrivals += 1;
+        }
+        if dcl_obs::is_enabled() {
+            let q_pkts = self.queue.len() + usize::from(self.in_service.is_some());
+            let backlog = self.backlog_delay(now);
+            self.stats.note_arrival_depth(q_pkts, backlog);
         }
 
         // RED test first (RED can reject even a fitting packet).
@@ -468,6 +553,39 @@ mod tests {
     fn max_queuing_delay_uses_buffer_and_bandwidth() {
         let l = link(1_000_000, 20_000);
         assert_eq!(l.max_queuing_delay(), Dur::from_millis(160.0));
+    }
+
+    #[test]
+    fn log2_bucket_boundaries() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+        assert_eq!(log2_bucket(u64::MAX), 15);
+    }
+
+    #[test]
+    fn arrival_depth_histograms_track_enqueues_when_enabled() {
+        dcl_obs::set_enabled(true);
+        let mut l = link(1_000_000, 10_000);
+        let t0 = Time::ZERO;
+        l.enqueue(pkt(1, 1000), t0); // empty queue -> bucket 0
+        l.enqueue(pkt(2, 1000), t0); // 1 in flight -> bucket 1
+        l.enqueue(pkt(3, 1000), t0); // 2 in flight -> bucket 2
+        dcl_obs::set_enabled(false);
+        let s = *l.stats();
+        assert_eq!(s.occupancy_hist[0], 1);
+        assert_eq!(s.occupancy_hist[1], 1);
+        assert_eq!(s.occupancy_hist[2], 1);
+        // Third arrival saw 8 ms residual + 8 ms queued = 16 ms backlog.
+        assert_eq!(s.max_backlog, Dur::from_millis(16.0));
+        assert_eq!(s.backlog_hist_ms.iter().sum::<u64>(), 3);
+        // Disabled: fields stay at their defaults.
+        let mut quiet = link(1_000_000, 10_000);
+        quiet.enqueue(pkt(9, 1000), t0);
+        assert_eq!(quiet.stats().occupancy_hist, [0; 16]);
+        assert_eq!(quiet.stats().max_backlog, Dur::ZERO);
     }
 
     #[test]

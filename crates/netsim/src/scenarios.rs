@@ -271,10 +271,15 @@ impl PathScenario {
 
     /// Run `warmup` of simulated time, discard all measurements, then run
     /// `measure` more and return the probe trace.
+    ///
+    /// With `dcl_obs` enabled, emits a `queue-stats` event per link for
+    /// the measurement window and a `netsim.run` wall-clock span.
     pub fn run(&mut self, warmup: Dur, measure: Dur) -> ProbeTrace {
+        let _span = dcl_obs::span("netsim.run");
         self.sim.run_until(Time::ZERO + warmup);
         self.sim.reset_measurements();
         self.sim.run_until(Time::ZERO + warmup + measure);
+        self.sim.record_queue_stats();
         ProbeTrace::from_sim(&self.sim, self.base_delay, self.probe_interval)
     }
 

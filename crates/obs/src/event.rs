@@ -1,0 +1,487 @@
+//! The structured event schema.
+//!
+//! Every instrumented layer of the workspace reports its state as one of
+//! these variants; the JSONL artifact is one serialised [`Event`] per
+//! line, tagged by `kind`. The schema is part of the crate's public
+//! contract (DESIGN.md §8): downstream tooling parses it with serde, and
+//! the determinism tests compare whole streams structurally.
+//!
+//! The `Serialize`/`Deserialize` impls are written by hand (a
+//! `kind`-tagged map) rather than derived: an internally-tagged enum
+//! would need `#[serde(tag = ...)]` helper attributes, which the vendored
+//! serde derive does not expand. The hand impls keep the wire format
+//! explicit and independent of derive behaviour.
+//!
+//! **Determinism contract.** With instrumentation enabled, the sequence
+//! of events — kinds, order, and every payload field except wall-clock
+//! durations — is bitwise identical at every worker-thread count. The
+//! only nondeterministic fields are the `wall_ns` of [`Event::SpanTiming`]
+//! (host timing can never be deterministic); [`Event::canonical`] zeroes
+//! them so streams can be compared exactly.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use serde_json::json;
+
+/// One observability event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// One EM iteration of one restart: the log-likelihood under the
+    /// model *entering* the iteration and the maximum parameter change it
+    /// produced. Kind tag: `em-iteration`.
+    EmIteration {
+        /// Which fitter ("hmm" or "mmhd").
+        model: String,
+        /// Restart index within the fit.
+        restart: usize,
+        /// Iteration index within the restart (1-based, like
+        /// `FitResult::iterations`).
+        iteration: usize,
+        /// Log-likelihood of the data under the iteration's input model.
+        log_likelihood: f64,
+        /// Maximum absolute parameter change of the M-step.
+        max_param_delta: f64,
+    },
+
+    /// A restart finished: why it stopped and where it landed. Kind tag:
+    /// `em-restart`.
+    EmRestart {
+        /// Which fitter ("hmm" or "mmhd").
+        model: String,
+        /// Restart index within the fit.
+        restart: usize,
+        /// Iterations used.
+        iterations: usize,
+        /// Did the parameter change fall below the tolerance?
+        converged: bool,
+        /// "tol" when converged, "max-iters" when the cap stopped it.
+        reason: String,
+        /// Log-likelihood of the data under the final model.
+        log_likelihood: f64,
+    },
+
+    /// End-of-run counters and histograms of one simulated link. Kind
+    /// tag: `queue-stats`.
+    QueueStats {
+        /// Link name from its configuration.
+        link: String,
+        /// Packets offered to the queue.
+        arrivals: u64,
+        /// Droptail (buffer overflow) drops.
+        drops_overflow: u64,
+        /// RED drops.
+        drops_red: u64,
+        /// Probe packets offered.
+        probe_arrivals: u64,
+        /// Probe packets dropped.
+        probe_drops: u64,
+        /// Maximum backlog (queuing) delay any arrival observed, in
+        /// microseconds of *simulated* time (deterministic).
+        max_backlog_us: u64,
+        /// Queue occupancy (packets) at arrival, log2-bucketed: bucket 0
+        /// is an empty queue, bucket `b` counts occupancies in
+        /// `[2^(b-1), 2^b)`.
+        occupancy_hist: Vec<u64>,
+        /// Backlog delay at arrival in whole milliseconds, log2-bucketed
+        /// the same way.
+        backlog_hist_ms: Vec<u64>,
+    },
+
+    /// One SDCL/WDCL hypothesis-test decision. Kind tag: `test-decision`.
+    TestDecision {
+        /// "sdcl" or "wdcl".
+        test: String,
+        /// The support point `d*`, if the CDF has mass above the
+        /// threshold.
+        d_star: Option<usize>,
+        /// `F(2 d*)`.
+        f_at_2d_star: f64,
+        /// Acceptance threshold (after the numeric floor).
+        threshold: f64,
+        /// The verdict.
+        accepted: bool,
+    },
+
+    /// Summary of one full identification run. Kind tag:
+    /// `identification`.
+    Identification {
+        /// Verdict as a string ("strongly-dominant", "weakly-dominant",
+        /// "no-dominant").
+        verdict: String,
+        /// Probes in the trace.
+        num_probes: usize,
+        /// Probe loss rate.
+        loss_rate: f64,
+        /// Identification bin width in microseconds.
+        bin_width_us: u64,
+    },
+
+    /// Wall-clock timing of a named code region. Kind tag: `span-timing`.
+    SpanTiming {
+        /// Region name ("hmm.em.restart", "sweep.cell", ...).
+        name: String,
+        /// Elapsed wall-clock nanoseconds. The one nondeterministic
+        /// field of the schema; zeroed by [`Event::canonical`].
+        wall_ns: u64,
+    },
+
+    /// A named monotonic counter increment. Kind tag: `counter`.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Amount added.
+        value: u64,
+    },
+}
+
+impl Event {
+    /// The `kind` tag this event serialises under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::EmIteration { .. } => "em-iteration",
+            Event::EmRestart { .. } => "em-restart",
+            Event::QueueStats { .. } => "queue-stats",
+            Event::TestDecision { .. } => "test-decision",
+            Event::Identification { .. } => "identification",
+            Event::SpanTiming { .. } => "span-timing",
+            Event::Counter { .. } => "counter",
+        }
+    }
+
+    /// The event with every wall-clock field zeroed: two instrumented
+    /// runs of the same computation produce identical canonical streams
+    /// regardless of thread count or host speed.
+    pub fn canonical(&self) -> Event {
+        match self {
+            Event::SpanTiming { name, .. } => Event::SpanTiming {
+                name: name.clone(),
+                wall_ns: 0,
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Are all floating-point payload fields finite? JSON cannot
+    /// represent NaN/infinity (they serialise as `null` and then fail to
+    /// parse back), so [`JsonlSink`](crate::JsonlSink) drops events for
+    /// which this is false rather than poisoning the artifact.
+    pub fn floats_finite(&self) -> bool {
+        match self {
+            Event::EmIteration {
+                log_likelihood,
+                max_param_delta,
+                ..
+            } => log_likelihood.is_finite() && max_param_delta.is_finite(),
+            Event::EmRestart { log_likelihood, .. } => log_likelihood.is_finite(),
+            Event::TestDecision {
+                f_at_2d_star,
+                threshold,
+                ..
+            } => f_at_2d_star.is_finite() && threshold.is_finite(),
+            Event::Identification { loss_rate, .. } => loss_rate.is_finite(),
+            Event::QueueStats { .. } | Event::SpanTiming { .. } | Event::Counter { .. } => true,
+        }
+    }
+}
+
+impl Serialize for Event {
+    fn to_value(&self) -> Value {
+        match self {
+            Event::EmIteration {
+                model,
+                restart,
+                iteration,
+                log_likelihood,
+                max_param_delta,
+            } => json!({
+                "kind": "em-iteration",
+                "model": model.clone(),
+                "restart": *restart,
+                "iteration": *iteration,
+                "log_likelihood": *log_likelihood,
+                "max_param_delta": *max_param_delta,
+            }),
+            Event::EmRestart {
+                model,
+                restart,
+                iterations,
+                converged,
+                reason,
+                log_likelihood,
+            } => json!({
+                "kind": "em-restart",
+                "model": model.clone(),
+                "restart": *restart,
+                "iterations": *iterations,
+                "converged": *converged,
+                "reason": reason.clone(),
+                "log_likelihood": *log_likelihood,
+            }),
+            Event::QueueStats {
+                link,
+                arrivals,
+                drops_overflow,
+                drops_red,
+                probe_arrivals,
+                probe_drops,
+                max_backlog_us,
+                occupancy_hist,
+                backlog_hist_ms,
+            } => json!({
+                "kind": "queue-stats",
+                "link": link.clone(),
+                "arrivals": *arrivals,
+                "drops_overflow": *drops_overflow,
+                "drops_red": *drops_red,
+                "probe_arrivals": *probe_arrivals,
+                "probe_drops": *probe_drops,
+                "max_backlog_us": *max_backlog_us,
+                "occupancy_hist": occupancy_hist.clone(),
+                "backlog_hist_ms": backlog_hist_ms.clone(),
+            }),
+            Event::TestDecision {
+                test,
+                d_star,
+                f_at_2d_star,
+                threshold,
+                accepted,
+            } => json!({
+                "kind": "test-decision",
+                "test": test.clone(),
+                "d_star": *d_star,
+                "f_at_2d_star": *f_at_2d_star,
+                "threshold": *threshold,
+                "accepted": *accepted,
+            }),
+            Event::Identification {
+                verdict,
+                num_probes,
+                loss_rate,
+                bin_width_us,
+            } => json!({
+                "kind": "identification",
+                "verdict": verdict.clone(),
+                "num_probes": *num_probes,
+                "loss_rate": *loss_rate,
+                "bin_width_us": *bin_width_us,
+            }),
+            Event::SpanTiming { name, wall_ns } => json!({
+                "kind": "span-timing",
+                "name": name.clone(),
+                "wall_ns": *wall_ns,
+            }),
+            Event::Counter { name, value } => json!({
+                "kind": "counter",
+                "name": name.clone(),
+                "value": *value,
+            }),
+        }
+    }
+}
+
+impl Deserialize for Event {
+    fn from_value(v: &Value) -> Result<Event, DeError> {
+        let get = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| DeError::new(format!("missing field `{k}`")))
+        };
+        let s = |k: &str| {
+            get(k)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| DeError::new(format!("field `{k}` is not a string")))
+        };
+        let u = |k: &str| {
+            get(k)?
+                .as_u64()
+                .ok_or_else(|| DeError::new(format!("field `{k}` is not an unsigned integer")))
+        };
+        let f = |k: &str| {
+            get(k)?
+                .as_f64()
+                .ok_or_else(|| DeError::new(format!("field `{k}` is not a number")))
+        };
+        let b = |k: &str| match get(k)? {
+            Value::Bool(x) => Ok(*x),
+            _ => Err(DeError::new(format!("field `{k}` is not a bool"))),
+        };
+        let hist = |k: &str| -> Result<Vec<u64>, DeError> {
+            match get(k)? {
+                Value::Array(xs) => xs
+                    .iter()
+                    .map(|x| {
+                        x.as_u64().ok_or_else(|| {
+                            DeError::new(format!("field `{k}` has a non-integer entry"))
+                        })
+                    })
+                    .collect(),
+                _ => Err(DeError::new(format!("field `{k}` is not an array"))),
+            }
+        };
+
+        match s("kind")?.as_str() {
+            "em-iteration" => Ok(Event::EmIteration {
+                model: s("model")?,
+                restart: u("restart")? as usize,
+                iteration: u("iteration")? as usize,
+                log_likelihood: f("log_likelihood")?,
+                max_param_delta: f("max_param_delta")?,
+            }),
+            "em-restart" => Ok(Event::EmRestart {
+                model: s("model")?,
+                restart: u("restart")? as usize,
+                iterations: u("iterations")? as usize,
+                converged: b("converged")?,
+                reason: s("reason")?,
+                log_likelihood: f("log_likelihood")?,
+            }),
+            "queue-stats" => Ok(Event::QueueStats {
+                link: s("link")?,
+                arrivals: u("arrivals")?,
+                drops_overflow: u("drops_overflow")?,
+                drops_red: u("drops_red")?,
+                probe_arrivals: u("probe_arrivals")?,
+                probe_drops: u("probe_drops")?,
+                max_backlog_us: u("max_backlog_us")?,
+                occupancy_hist: hist("occupancy_hist")?,
+                backlog_hist_ms: hist("backlog_hist_ms")?,
+            }),
+            "test-decision" => Ok(Event::TestDecision {
+                test: s("test")?,
+                d_star: match get("d_star")? {
+                    Value::Null => None,
+                    x => Some(x.as_u64().ok_or_else(|| {
+                        DeError::new("field `d_star` is not an unsigned integer")
+                    })? as usize),
+                },
+                f_at_2d_star: f("f_at_2d_star")?,
+                threshold: f("threshold")?,
+                accepted: b("accepted")?,
+            }),
+            "identification" => Ok(Event::Identification {
+                verdict: s("verdict")?,
+                num_probes: u("num_probes")? as usize,
+                loss_rate: f("loss_rate")?,
+                bin_width_us: u("bin_width_us")?,
+            }),
+            "span-timing" => Ok(Event::SpanTiming {
+                name: s("name")?,
+                wall_ns: u("wall_ns")?,
+            }),
+            "counter" => Ok(Event::Counter {
+                name: s("name")?,
+                value: u("value")?,
+            }),
+            other => Err(DeError::new(format!("unknown event kind `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Event> {
+        vec![
+            Event::EmIteration {
+                model: "hmm".into(),
+                restart: 2,
+                iteration: 17,
+                log_likelihood: -1234.5,
+                max_param_delta: 3.5e-4,
+            },
+            Event::EmRestart {
+                model: "mmhd".into(),
+                restart: 0,
+                iterations: 60,
+                converged: true,
+                reason: "tol".into(),
+                log_likelihood: -10.25,
+            },
+            Event::QueueStats {
+                link: "hop1".into(),
+                arrivals: 100,
+                drops_overflow: 3,
+                drops_red: 0,
+                probe_arrivals: 10,
+                probe_drops: 1,
+                max_backlog_us: 160_000,
+                occupancy_hist: vec![1, 2, 3],
+                backlog_hist_ms: vec![4, 5, 6],
+            },
+            Event::TestDecision {
+                test: "wdcl".into(),
+                d_star: Some(4),
+                f_at_2d_star: 0.96875,
+                threshold: 0.9375,
+                accepted: true,
+            },
+            Event::TestDecision {
+                test: "sdcl".into(),
+                d_star: None,
+                f_at_2d_star: 0.0,
+                threshold: 1.0,
+                accepted: false,
+            },
+            Event::Identification {
+                verdict: "strongly-dominant".into(),
+                num_probes: 15000,
+                loss_rate: 0.015625,
+                bin_width_us: 32_000,
+            },
+            Event::SpanTiming {
+                name: "sweep.cell".into(),
+                wall_ns: 123_456_789,
+            },
+            Event::Counter {
+                name: "sweep.unusable".into(),
+                value: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn serde_round_trips_every_variant() {
+        for ev in samples() {
+            let line = serde_json::to_string(&ev).unwrap();
+            let back: Event = serde_json::from_str(&line).unwrap();
+            assert_eq!(ev, back, "{line}");
+            // The kind tag is the first thing tooling filters on.
+            let v: Value = serde_json::from_str(&line).unwrap();
+            assert_eq!(v["kind"].as_str().unwrap(), ev.kind());
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_are_flagged_and_fail_round_trip() {
+        let ev = Event::TestDecision {
+            test: "wdcl".into(),
+            d_star: None,
+            f_at_2d_star: f64::NAN,
+            threshold: 0.94,
+            accepted: false,
+        };
+        assert!(!ev.floats_finite());
+        // NaN serialises as `null`, which is not a valid number field.
+        let line = serde_json::to_string(&ev).unwrap();
+        assert!(serde_json::from_str::<Event>(&line).is_err());
+        assert!(samples().iter().all(Event::floats_finite));
+    }
+
+    #[test]
+    fn unknown_kind_and_missing_fields_are_rejected() {
+        assert!(serde_json::from_str::<Event>(r#"{"kind":"nope"}"#).is_err());
+        assert!(serde_json::from_str::<Event>(r#"{"kind":"counter","name":"x"}"#).is_err());
+        assert!(serde_json::from_str::<Event>("[1,2]").is_err());
+    }
+
+    #[test]
+    fn canonical_zeroes_only_wall_clock() {
+        for ev in samples() {
+            let canon = ev.canonical();
+            match canon {
+                Event::SpanTiming { wall_ns, .. } => assert_eq!(wall_ns, 0),
+                other => assert_eq!(other, ev),
+            }
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! `dcl-obs`: zero-overhead observability for the dominant-congested-link
+//! workspace.
+//!
+//! The workspace's EM fitters, simulator, and hypothesis tests report
+//! structured [`Event`]s through a single global facility. When
+//! instrumentation is **disabled** (the default) every `record_with` call
+//! is one relaxed atomic load and an untaken branch — event payloads are
+//! never even constructed, so the instrumented code paths compile to the
+//! same arithmetic as uninstrumented ones. When **enabled** (env var
+//! `DCL_OBS`, or [`install`]) events stream to a [`Recorder`] — typically
+//! a [`JsonlSink`] — and a [`Summary`] aggregates counts, span timings,
+//! and counters for an end-of-run table.
+//!
+//! # Deterministic parallel merge
+//!
+//! Parallel layers (`dcl-parallel`) must not interleave worker events
+//! nondeterministically. The contract: a worker runs each work item under
+//! [`capture`], which buffers the item's events in a thread-local frame
+//! instead of the global sink; the fork-join scope then replays the
+//! buffers with [`emit_batch`] **in item-index order** after the join.
+//! The resulting stream is identical to a serial run at any thread count
+//! (wall-clock `SpanTiming` durations excepted — compare with
+//! [`Event::canonical`]).
+//!
+//! Nesting composes: a capture frame installed inside another capture
+//! frame (e.g. a nested parallel region) drains into its parent, so the
+//! outermost join still sees one ordered stream.
+
+pub mod event;
+pub mod recorder;
+
+pub use event::Event;
+pub use recorder::{BufferRecorder, JsonlSink, NoopRecorder, Recorder, Summary};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The fast-path gate. Relaxed is enough: enabling/disabling happens at
+/// run boundaries, not concurrently with recording, and a stale read only
+/// drops or buffers a boundary event.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+struct State {
+    sink: Box<dyn Recorder>,
+    summary: Summary,
+}
+
+static STATE: Mutex<Option<State>> = Mutex::new(None);
+
+thread_local! {
+    /// Capture frame stack for deterministic parallel merge. `None` when
+    /// the thread is recording straight to the global sink.
+    static FRAME: RefCell<Vec<Vec<Event>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Is instrumentation live? The disabled path is a single relaxed load.
+#[inline(always)]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install a recorder and turn instrumentation on. Replaces (and
+/// finishes) any previous recorder.
+pub fn install(sink: Box<dyn Recorder>) {
+    let mut state = STATE.lock().unwrap();
+    if let Some(mut old) = state.take() {
+        old.sink.finish();
+    }
+    *state = Some(State {
+        sink,
+        summary: Summary::default(),
+    });
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn instrumentation on or off without touching the installed
+/// recorder. Enabling with no recorder installed installs a
+/// [`NoopRecorder`] (the summary still aggregates).
+pub fn set_enabled(on: bool) {
+    if on {
+        let mut state = STATE.lock().unwrap();
+        if state.is_none() {
+            *state = Some(State {
+                sink: Box::new(NoopRecorder),
+                summary: Summary::default(),
+            });
+        }
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Read the `DCL_OBS` environment variable and enable instrumentation if
+/// it is set to anything but `"" `/ `"0"` / `"false"` / `"off"`. Returns
+/// whether instrumentation ended up enabled.
+pub fn init_from_env() -> bool {
+    let on = std::env::var("DCL_OBS")
+        .map(|v| !matches!(v.as_str(), "" | "0" | "false" | "off"))
+        .unwrap_or(false);
+    if on {
+        set_enabled(true);
+    }
+    on
+}
+
+/// Record one event. Prefer [`record_with`] in hot paths so the payload
+/// is only built when enabled.
+#[inline]
+pub fn record(ev: Event) {
+    if is_enabled() {
+        deliver(ev);
+    }
+}
+
+/// Record the event built by `f`, constructing it only when
+/// instrumentation is enabled.
+#[inline(always)]
+pub fn record_with(f: impl FnOnce() -> Event) {
+    if is_enabled() {
+        deliver(f());
+    }
+}
+
+#[cold]
+fn deliver(ev: Event) {
+    let buffered = FRAME.with(|frames| {
+        let mut frames = frames.borrow_mut();
+        match frames.last_mut() {
+            Some(buf) => {
+                buf.push(ev.clone());
+                true
+            }
+            None => false,
+        }
+    });
+    if !buffered {
+        sink_all(std::iter::once(ev));
+    }
+}
+
+fn sink_all(events: impl IntoIterator<Item = Event>) {
+    let mut state = STATE.lock().unwrap();
+    if let Some(state) = state.as_mut() {
+        for ev in events {
+            state.summary.observe(&ev);
+            state.sink.record(ev);
+        }
+    }
+}
+
+/// Run `f` with a fresh capture frame: events it records are buffered and
+/// returned instead of reaching the global sink. The parallel layer calls
+/// this once per work item and replays the buffers in index order with
+/// [`emit_batch`].
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<Event>) {
+    FRAME.with(|frames| frames.borrow_mut().push(Vec::new()));
+    // A panic in `f` unwinds through the test harness with a frame
+    // leaked; that is acceptable — the run is aborting anyway.
+    let out = f();
+    let events = FRAME.with(|frames| frames.borrow_mut().pop().unwrap_or_default());
+    (out, events)
+}
+
+/// Append a captured buffer to the current stream: the enclosing capture
+/// frame if one is installed (nested parallelism), else the global sink.
+pub fn emit_batch(events: Vec<Event>) {
+    if events.is_empty() {
+        return;
+    }
+    let buffered = FRAME.with(|frames| {
+        let mut frames = frames.borrow_mut();
+        match frames.last_mut() {
+            Some(buf) => {
+                buf.extend(events.iter().cloned());
+                true
+            }
+            None => false,
+        }
+    });
+    if !buffered {
+        sink_all(events);
+    }
+}
+
+/// Finish the run: flush and drop the recorder, disable instrumentation,
+/// and return the aggregated [`Summary`]. Returns `None` if nothing was
+/// installed.
+pub fn finish() -> Option<Summary> {
+    ENABLED.store(false, Ordering::Relaxed);
+    let mut state = STATE.lock().unwrap();
+    state.take().map(|mut s| {
+        s.sink.finish();
+        s.summary
+    })
+}
+
+/// RAII wall-clock span: records an [`Event::SpanTiming`] on drop. When
+/// instrumentation is disabled the constructor takes no timestamp and the
+/// drop is a branch on `None`.
+pub struct Span {
+    start: Option<(&'static str, Instant)>,
+}
+
+/// Start a named wall-clock span.
+#[inline(always)]
+pub fn span(name: &'static str) -> Span {
+    Span {
+        start: is_enabled().then(|| (name, Instant::now())),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.start.take() {
+            let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            record(Event::SpanTiming {
+                name: name.to_string(),
+                wall_ns,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// The global facility is process-wide; tests that toggle it must not
+    /// overlap.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn counter(name: &str, value: u64) -> Event {
+        Event::Counter {
+            name: name.into(),
+            value,
+        }
+    }
+
+    /// Install a buffer recorder, run `f`, return the recorded stream.
+    fn with_buffer(f: impl FnOnce()) -> (Vec<Event>, Summary) {
+        use std::sync::{Arc, Mutex as StdMutex};
+
+        #[derive(Default)]
+        struct Shared(Arc<StdMutex<Vec<Event>>>);
+        impl Recorder for Shared {
+            fn record(&mut self, ev: Event) {
+                self.0.lock().unwrap().push(ev);
+            }
+        }
+
+        let shared = Arc::new(StdMutex::new(Vec::new()));
+        install(Box::new(Shared(shared.clone())));
+        f();
+        let summary = finish().expect("recorder was installed");
+        let events = shared.lock().unwrap().clone();
+        (events, summary)
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = exclusive();
+        set_enabled(false);
+        let mut constructed = false;
+        record_with(|| {
+            constructed = true;
+            counter("x", 1)
+        });
+        assert!(!constructed, "payload must not be built when disabled");
+    }
+
+    #[test]
+    fn enabled_streams_to_recorder_and_summary() {
+        let _g = exclusive();
+        let (events, summary) = with_buffer(|| {
+            record(counter("a", 1));
+            record_with(|| counter("b", 2));
+        });
+        assert_eq!(events.len(), 2);
+        assert_eq!(summary.total_events(), 2);
+        assert_eq!(summary.count("counter"), 2);
+    }
+
+    #[test]
+    fn capture_buffers_and_emit_batch_replays_in_order() {
+        let _g = exclusive();
+        let (events, _) = with_buffer(|| {
+            // Simulate a 2-item fork-join: capture each item, then merge
+            // in index order regardless of completion order.
+            let ((), ev1) = capture(|| record(counter("item1", 1)));
+            let ((), ev0) = capture(|| record(counter("item0", 0)));
+            emit_batch(ev0);
+            emit_batch(ev1);
+        });
+        let names: Vec<_> = events
+            .iter()
+            .map(|e| match e {
+                Event::Counter { name, .. } => name.as_str(),
+                _ => "?",
+            })
+            .collect();
+        assert_eq!(names, ["item0", "item1"]);
+    }
+
+    #[test]
+    fn nested_capture_drains_into_parent() {
+        let _g = exclusive();
+        let (events, _) = with_buffer(|| {
+            let ((), outer) = capture(|| {
+                record(counter("before", 1));
+                let ((), inner) = capture(|| record(counter("inner", 2)));
+                emit_batch(inner);
+                record(counter("after", 3));
+            });
+            emit_batch(outer);
+        });
+        let names: Vec<_> = events
+            .iter()
+            .map(|e| match e {
+                Event::Counter { name, .. } => name.as_str(),
+                _ => "?",
+            })
+            .collect();
+        assert_eq!(names, ["before", "inner", "after"]);
+    }
+
+    #[test]
+    fn span_times_only_when_enabled() {
+        let _g = exclusive();
+        set_enabled(false);
+        {
+            let _s = span("dead");
+        }
+        let (events, summary) = with_buffer(|| {
+            let _s = span("live");
+        });
+        assert_eq!(events.len(), 1);
+        assert_eq!(summary.count("span-timing"), 1);
+        match &events[0] {
+            Event::SpanTiming { name, .. } => assert_eq!(name, "live"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finish_disables_and_returns_summary() {
+        let _g = exclusive();
+        install(Box::new(NoopRecorder));
+        record(counter("x", 1));
+        let summary = finish().unwrap();
+        assert_eq!(summary.total_events(), 1);
+        assert!(!is_enabled());
+        assert!(finish().is_none());
+    }
+}

@@ -1,0 +1,257 @@
+//! Event consumers: the [`Recorder`] trait and its implementations.
+//!
+//! A recorder is where a merged, deterministic event stream ends up. The
+//! library never talks to a recorder directly — events flow through the
+//! global facility in `lib.rs`, which serialises delivery and keeps the
+//! per-run [`Summary`] — so implementations only need `Send`, not `Sync`.
+
+use crate::event::Event;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Consumes the merged event stream.
+pub trait Recorder: Send {
+    /// Consume one event.
+    fn record(&mut self, ev: Event);
+
+    /// Flush any buffered output; called once at the end of a run.
+    fn finish(&mut self) {}
+}
+
+/// Discards everything (the "enabled but headless" recorder: the global
+/// [`Summary`](crate::finish) still aggregates).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn record(&mut self, _ev: Event) {}
+}
+
+/// Keeps the stream in memory — the recorder the determinism tests use.
+#[derive(Debug, Default)]
+pub struct BufferRecorder {
+    /// The events received so far, in delivery order.
+    pub events: Vec<Event>,
+}
+
+impl Recorder for BufferRecorder {
+    fn record(&mut self, ev: Event) {
+        self.events.push(ev);
+    }
+}
+
+/// Streams each event as one JSON line to a file.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: BufWriter<File>,
+    path: PathBuf,
+    lines: u64,
+}
+
+impl JsonlSink {
+    /// Create (truncate) the artifact at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(JsonlSink {
+            out: BufWriter::new(File::create(&path)?),
+            path,
+            lines: 0,
+        })
+    }
+
+    /// Where the artifact lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+}
+
+impl Recorder for JsonlSink {
+    fn record(&mut self, ev: Event) {
+        // Non-finite floats are unrepresentable in JSON (they would
+        // serialise as `null` and fail to parse back as events). Dropping
+        // such a line is better than poisoning the artifact — the summary
+        // still counts the event.
+        if !ev.floats_finite() {
+            return;
+        }
+        if let Ok(line) = serde_json::to_string(&ev) {
+            let _ = writeln!(self.out, "{line}");
+            self.lines += 1;
+        }
+    }
+
+    fn finish(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Per-span aggregate for the summary table.
+#[derive(Debug, Default, Clone, Copy)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+/// End-of-run aggregates: event counts per kind, span timings, counter
+/// totals. Maintained by the global facility for every event delivered,
+/// regardless of which [`Recorder`] consumes the stream.
+#[derive(Debug, Default)]
+pub struct Summary {
+    events: u64,
+    kinds: BTreeMap<&'static str, u64>,
+    spans: BTreeMap<String, SpanAgg>,
+    counters: BTreeMap<String, u64>,
+}
+
+impl Summary {
+    /// Fold one event into the aggregates.
+    pub fn observe(&mut self, ev: &Event) {
+        self.events += 1;
+        *self.kinds.entry(ev.kind()).or_insert(0) += 1;
+        match ev {
+            Event::SpanTiming { name, wall_ns } => {
+                let agg = self.spans.entry(name.clone()).or_default();
+                agg.count += 1;
+                agg.total_ns += wall_ns;
+                agg.max_ns = agg.max_ns.max(*wall_ns);
+            }
+            Event::Counter { name, value } => {
+                *self.counters.entry(name.clone()).or_insert(0) += value;
+            }
+            _ => {}
+        }
+    }
+
+    /// Total events observed.
+    pub fn total_events(&self) -> u64 {
+        self.events
+    }
+
+    /// Events observed for one kind.
+    pub fn count(&self, kind: &str) -> u64 {
+        self.kinds.get(kind).copied().unwrap_or(0)
+    }
+
+    /// The human-readable end-of-run table.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "-- observability summary ({} events)", self.events);
+        let _ = writeln!(s, "{:<28} {:>12}", "event kind", "count");
+        for (kind, n) in &self.kinds {
+            let _ = writeln!(s, "{kind:<28} {n:>12}");
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(
+                s,
+                "{:<28} {:>8} {:>12} {:>12} {:>12}",
+                "span", "count", "total ms", "mean ms", "max ms"
+            );
+            for (name, agg) in &self.spans {
+                let total_ms = agg.total_ns as f64 / 1e6;
+                let _ = writeln!(
+                    s,
+                    "{name:<28} {:>8} {total_ms:>12.2} {:>12.3} {:>12.2}",
+                    agg.count,
+                    total_ms / agg.count.max(1) as f64,
+                    agg.max_ns as f64 / 1e6,
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(s, "{:<28} {:>12}", "counter", "total");
+            for (name, total) in &self.counters {
+                let _ = writeln!(s, "{name:<28} {total:>12}");
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, ns: u64) -> Event {
+        Event::SpanTiming {
+            name: name.into(),
+            wall_ns: ns,
+        }
+    }
+
+    #[test]
+    fn buffer_recorder_keeps_order() {
+        let mut rec = BufferRecorder::default();
+        rec.record(span("a", 1));
+        rec.record(span("b", 2));
+        assert_eq!(rec.events.len(), 2);
+        assert_eq!(rec.events[0].kind(), "span-timing");
+    }
+
+    #[test]
+    fn summary_aggregates_spans_and_counters() {
+        let mut sum = Summary::default();
+        sum.observe(&span("em", 10));
+        sum.observe(&span("em", 30));
+        sum.observe(&Event::Counter {
+            name: "cells".into(),
+            value: 5,
+        });
+        sum.observe(&Event::Counter {
+            name: "cells".into(),
+            value: 2,
+        });
+        assert_eq!(sum.total_events(), 4);
+        assert_eq!(sum.count("span-timing"), 2);
+        assert_eq!(sum.count("counter"), 2);
+        let table = sum.render();
+        assert!(table.contains("em"), "{table}");
+        assert!(table.contains("cells"), "{table}");
+        assert!(table.contains("4 events"), "{table}");
+    }
+
+    #[test]
+    fn jsonl_sink_streams_parseable_lines() {
+        let path = std::env::temp_dir().join("dcl-obs-sink-test.jsonl");
+        let mut sink = JsonlSink::create(&path).unwrap();
+        sink.record(span("x", 7));
+        sink.record(Event::Counter {
+            name: "c".into(),
+            value: 1,
+        });
+        sink.finish();
+        assert_eq!(sink.lines(), 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        for line in text.lines() {
+            let _: Event = serde_json::from_str(line).unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn jsonl_sink_skips_non_finite_floats() {
+        let path = std::env::temp_dir().join("dcl-obs-sink-nan.jsonl");
+        let mut sink = JsonlSink::create(&path).unwrap();
+        sink.record(Event::TestDecision {
+            test: "wdcl".into(),
+            d_star: None,
+            f_at_2d_star: f64::NAN,
+            threshold: 0.94,
+            accepted: false,
+        });
+        sink.finish();
+        assert_eq!(sink.lines(), 0, "NaN lines must be dropped, not written");
+        let _ = std::fs::remove_file(&path);
+    }
+}

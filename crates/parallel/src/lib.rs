@@ -26,7 +26,12 @@
 //!
 //! No third-party dependencies (notably: no rayon) — the build must work
 //! in hermetic environments whose registries only carry what the seed
-//! already used.
+//! already used. The only dependency is the workspace's own `dcl-obs`,
+//! whose deterministic-merge contract this crate implements: when
+//! instrumentation is enabled, each work item's events are captured in a
+//! per-item buffer and replayed **in index order** after the join, so the
+//! instrumented event stream is identical to a serial run at any worker
+//! count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -76,8 +81,33 @@ where
 {
     let threads = effective_threads(parallelism).min(n);
     if threads <= 1 {
+        // Serial path: items run in index order, so their events already
+        // reach the sink in index order — no capture machinery needed.
         return (0..n).map(f).collect();
     }
+    if dcl_obs::is_enabled() {
+        // Deterministic merge: buffer each item's events on its worker
+        // thread, then replay the buffers in index order after the join.
+        // The stream ends up identical to the serial path's.
+        let pairs = par_map_core(threads, n, |i| dcl_obs::capture(|| f(i)));
+        let mut out = Vec::with_capacity(n);
+        for (value, events) in pairs {
+            dcl_obs::emit_batch(events);
+            out.push(value);
+        }
+        return out;
+    }
+    par_map_core(threads, n, f)
+}
+
+/// The threaded work-stealing body of [`par_map_indexed`]: `threads` ≥ 2
+/// scoped workers pull indices from a shared counter and results are
+/// collected by index.
+fn par_map_core<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, T)>();
     std::thread::scope(|scope| {
@@ -201,6 +231,33 @@ mod tests {
             })
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn instrumented_events_merge_in_index_order() {
+        // Capture at the top level on the calling thread: the join's
+        // emit_batch drains into this frame, exposing the merged stream
+        // without installing a global recorder.
+        dcl_obs::set_enabled(true);
+        let ((), events) = dcl_obs::capture(|| {
+            let _ = par_map_indexed(Some(4), 16, |i| {
+                dcl_obs::record(dcl_obs::Event::Counter {
+                    name: format!("item{i}"),
+                    value: i as u64,
+                });
+                i
+            });
+        });
+        dcl_obs::set_enabled(false);
+        let names: Vec<_> = events
+            .iter()
+            .map(|e| match e {
+                dcl_obs::Event::Counter { name, .. } => name.clone(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        let expected: Vec<_> = (0..16).map(|i| format!("item{i}")).collect();
+        assert_eq!(names, expected, "merge must follow item index order");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 # against those rlibs and runs every test binary. CI environments with
 # registry access should use ci.sh (plain cargo) instead.
 #
-# Usage: scripts/offline_check.sh [build|test|all]  (default: all)
+# Usage: scripts/offline_check.sh [build|bins|test|smoke|all]  (default: all)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -55,6 +55,7 @@ tbin() { # tbin <out_name> <src> <externs...>
 
 # Workspace crate externs, in dependency order.
 E_PROBNUM="--extern dcl_probnum=$OUT/libdcl_probnum.rlib"
+E_OBS="--extern dcl_obs=$OUT/libdcl_obs.rlib"
 E_PARALLEL="--extern dcl_parallel=$OUT/libdcl_parallel.rlib"
 E_NETSIM="--extern dcl_netsim=$OUT/libdcl_netsim.rlib"
 E_HMM="--extern dcl_hmm=$OUT/libdcl_hmm.rlib"
@@ -69,44 +70,46 @@ E_FACADE="--extern dominant_congested_links=$OUT/libdominant_congested_links.rli
 build_libs() {
   echo "== building workspace rlibs"
   lib dcl_probnum crates/probnum/src/lib.rs $E_RAND $E_SERDE
-  lib dcl_parallel crates/parallel/src/lib.rs
-  lib dcl_netsim crates/netsim/src/lib.rs $E_PROBNUM $E_RAND $E_DISTR $E_SERDE
-  lib dcl_hmm crates/hmm/src/lib.rs $E_PROBNUM $E_PARALLEL $E_RAND $E_SERDE
-  lib dcl_mmhd crates/mmhd/src/lib.rs $E_PROBNUM $E_PARALLEL $E_RAND $E_SERDE
+  lib dcl_obs crates/obs/src/lib.rs $E_SERDE $E_JSON
+  lib dcl_parallel crates/parallel/src/lib.rs $E_OBS
+  lib dcl_netsim crates/netsim/src/lib.rs $E_PROBNUM $E_OBS $E_RAND $E_DISTR $E_SERDE
+  lib dcl_hmm crates/hmm/src/lib.rs $E_PROBNUM $E_PARALLEL $E_OBS $E_RAND $E_SERDE
+  lib dcl_mmhd crates/mmhd/src/lib.rs $E_PROBNUM $E_PARALLEL $E_OBS $E_RAND $E_SERDE
   lib dcl_losspair crates/losspair/src/lib.rs $E_PROBNUM $E_NETSIM $E_SERDE
   lib dcl_clocksync crates/clocksync/src/lib.rs $E_SERDE
   lib dcl_inet crates/inet/src/lib.rs $E_PROBNUM $E_NETSIM $E_CLOCKSYNC $E_RAND $E_DISTR $E_SERDE
-  lib dcl_core crates/core/src/lib.rs $E_PROBNUM $E_PARALLEL $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_RAND $E_SERDE
-  lib dcl_bench crates/bench/src/lib.rs $E_PROBNUM $E_PARALLEL $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_CLOCKSYNC $E_INET $E_CORE $E_RAND $E_SERDE $E_JSON
-  lib dominant_congested_links src/lib.rs $E_PROBNUM $E_PARALLEL $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_CLOCKSYNC $E_INET $E_CORE $E_RAND $E_JSON
+  lib dcl_core crates/core/src/lib.rs $E_PROBNUM $E_PARALLEL $E_OBS $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_RAND $E_SERDE
+  lib dcl_bench crates/bench/src/lib.rs $E_PROBNUM $E_PARALLEL $E_OBS $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_CLOCKSYNC $E_INET $E_CORE $E_RAND $E_SERDE $E_JSON
+  lib dominant_congested_links src/lib.rs $E_PROBNUM $E_PARALLEL $E_OBS $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_CLOCKSYNC $E_INET $E_CORE $E_RAND $E_JSON
 }
 
 build_tests() {
   echo "== building test binaries"
   # Unit tests (lib targets compiled with --test).
   tbin ut_probnum crates/probnum/src/lib.rs $E_RAND $E_SERDE $E_PROPTEST
-  tbin ut_parallel crates/parallel/src/lib.rs
-  tbin ut_netsim crates/netsim/src/lib.rs $E_PROBNUM $E_RAND $E_DISTR $E_SERDE
-  tbin ut_hmm crates/hmm/src/lib.rs $E_PROBNUM $E_PARALLEL $E_RAND $E_SERDE
-  tbin ut_mmhd crates/mmhd/src/lib.rs $E_PROBNUM $E_PARALLEL $E_RAND $E_SERDE
+  tbin ut_obs crates/obs/src/lib.rs $E_SERDE $E_JSON
+  tbin ut_parallel crates/parallel/src/lib.rs $E_OBS
+  tbin ut_netsim crates/netsim/src/lib.rs $E_PROBNUM $E_OBS $E_RAND $E_DISTR $E_SERDE
+  tbin ut_hmm crates/hmm/src/lib.rs $E_PROBNUM $E_PARALLEL $E_OBS $E_RAND $E_SERDE
+  tbin ut_mmhd crates/mmhd/src/lib.rs $E_PROBNUM $E_PARALLEL $E_OBS $E_RAND $E_SERDE
   tbin ut_losspair crates/losspair/src/lib.rs $E_PROBNUM $E_NETSIM $E_SERDE
   tbin ut_clocksync crates/clocksync/src/lib.rs $E_SERDE
   tbin ut_inet crates/inet/src/lib.rs $E_PROBNUM $E_NETSIM $E_CLOCKSYNC $E_RAND $E_DISTR $E_SERDE
-  tbin ut_core crates/core/src/lib.rs $E_PROBNUM $E_PARALLEL $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_RAND $E_SERDE
-  tbin ut_bench crates/bench/src/lib.rs $E_PROBNUM $E_PARALLEL $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_CLOCKSYNC $E_INET $E_CORE $E_RAND $E_SERDE $E_JSON
+  tbin ut_core crates/core/src/lib.rs $E_PROBNUM $E_PARALLEL $E_OBS $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_RAND $E_SERDE
+  tbin ut_bench crates/bench/src/lib.rs $E_PROBNUM $E_PARALLEL $E_OBS $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_CLOCKSYNC $E_INET $E_CORE $E_RAND $E_SERDE $E_JSON
 
   # Integration tests.
   tbin it_probnum_prop crates/probnum/tests/proptests.rs $E_PROBNUM $E_RAND $E_PROPTEST
   tbin it_netsim_prop crates/netsim/tests/proptests.rs $E_NETSIM $E_PROBNUM $E_RAND $E_PROPTEST
-  tbin it_hmm_prop crates/hmm/tests/proptests.rs $E_HMM $E_MMHD $E_PROBNUM $E_RAND $E_PROPTEST
-  tbin it_mmhd_prop crates/mmhd/tests/proptests.rs $E_MMHD $E_PROBNUM $E_RAND $E_PROPTEST
+  tbin it_hmm_prop crates/hmm/tests/proptests.rs $E_HMM $E_MMHD $E_PROBNUM $E_OBS $E_RAND $E_PROPTEST
+  tbin it_mmhd_prop crates/mmhd/tests/proptests.rs $E_MMHD $E_PROBNUM $E_OBS $E_RAND $E_PROPTEST
   tbin it_losspair_prop crates/losspair/tests/proptests.rs $E_LOSSPAIR $E_NETSIM $E_PROBNUM $E_RAND $E_PROPTEST
   tbin it_clocksync_prop crates/clocksync/tests/proptests.rs $E_CLOCKSYNC $E_RAND $E_PROPTEST
   tbin it_inet_pipeline crates/inet/tests/pipeline.rs $E_INET $E_NETSIM $E_CLOCKSYNC $E_PROBNUM $E_RAND $E_PROPTEST
   tbin it_core_prop crates/core/tests/proptests.rs $E_CORE $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_PROBNUM $E_RAND $E_PROPTEST
 
   # Facade integration tests.
-  local FACADE_EXT="$E_FACADE $E_PROBNUM $E_PARALLEL $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_CLOCKSYNC $E_INET $E_CORE $E_RAND $E_JSON"
+  local FACADE_EXT="$E_FACADE $E_PROBNUM $E_PARALLEL $E_OBS $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_CLOCKSYNC $E_INET $E_CORE $E_RAND $E_JSON"
   tbin it_end_to_end tests/end_to_end.rs $FACADE_EXT
   tbin it_baselines tests/baselines.rs $FACADE_EXT
   tbin it_clock_pipeline tests/clock_pipeline.rs $FACADE_EXT
@@ -117,7 +120,7 @@ build_tests() {
 
 build_bins() {
   echo "== compile-checking bench bins and benches"
-  local BIN_EXT="$E_BENCH $E_CORE $E_INET $E_NETSIM $E_LOSSPAIR $E_CLOCKSYNC $E_HMM $E_MMHD $E_PROBNUM $E_PARALLEL $E_RAND $E_DISTR $E_SERDE $E_JSON"
+  local BIN_EXT="$E_BENCH $E_CORE $E_INET $E_OBS $E_NETSIM $E_LOSSPAIR $E_CLOCKSYNC $E_HMM $E_MMHD $E_PROBNUM $E_PARALLEL $E_RAND $E_DISTR $E_SERDE $E_JSON"
   for src in crates/bench/src/bin/*.rs; do
     local name
     name=$(basename "$src" .rs)
@@ -137,7 +140,7 @@ build_bins() {
 run_tests() {
   echo "== running tests"
   local failed=0
-  for t in ut_probnum ut_parallel ut_netsim ut_hmm ut_mmhd ut_losspair ut_clocksync \
+  for t in ut_probnum ut_obs ut_parallel ut_netsim ut_hmm ut_mmhd ut_losspair ut_clocksync \
            ut_inet ut_core ut_bench it_probnum_prop it_netsim_prop it_hmm_prop \
            it_mmhd_prop it_losspair_prop it_clocksync_prop it_inet_pipeline \
            it_core_prop it_end_to_end it_baselines it_clock_pipeline \
@@ -149,10 +152,24 @@ run_tests() {
   return $failed
 }
 
+obs_smoke() {
+  echo "== instrumented smoke run + artifact validation"
+  local artifact
+  artifact=$(mktemp -t dcl-obs-smoke.XXXXXX.jsonl)
+  # 40 s of measured time is the shortest run that reliably produces
+  # losses on the strongly-dominant scenario; the artifact must be
+  # non-empty, parse line-by-line through the Event schema, and cover the
+  # four core event kinds.
+  "$OUT/bin_table2" 40 --obs "$artifact" > /dev/null
+  "$OUT/bin_obs_check" "$artifact" 4
+  rm -f "$artifact"
+}
+
 case "$MODE" in
   build) build_libs ;;
   bins) build_bins ;;
   test) build_tests; run_tests ;;
-  all) build_libs; build_bins; build_tests; run_tests ;;
-  *) echo "usage: $0 [build|bins|test|all]" >&2; exit 2 ;;
+  smoke) obs_smoke ;;
+  all) build_libs; build_bins; build_tests; run_tests; obs_smoke ;;
+  *) echo "usage: $0 [build|bins|test|smoke|all]" >&2; exit 2 ;;
 esac

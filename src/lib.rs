@@ -15,7 +15,9 @@
 //!   substitute);
 //! * [`probnum`] — shared probability/numerics utilities;
 //! * [`parallel`] — the deterministic fork-join execution layer behind the
-//!   EM restart, duration-sweep and scenario-grid parallelism.
+//!   EM restart, duration-sweep and scenario-grid parallelism;
+//! * [`obs`] — the zero-overhead observability layer (structured events,
+//!   spans, counters) with a deterministic parallel merge contract.
 //!
 //! See the `examples/` directory for runnable walkthroughs and
 //! `crates/bench/src/bin/` for the per-table/figure experiment harness.
@@ -29,5 +31,6 @@ pub use dcl_inet as inet;
 pub use dcl_losspair as losspair;
 pub use dcl_mmhd as mmhd;
 pub use dcl_netsim as netsim;
+pub use dcl_obs as obs;
 pub use dcl_parallel as parallel;
 pub use dcl_probnum as probnum;

@@ -170,6 +170,102 @@ fn duration_sweep_is_bitwise_identical_at_every_thread_count() {
     }
 }
 
+use dominant_congested_links::identification::identify::{identify, Identification};
+use dominant_congested_links::obs;
+
+/// Serialises the tests that toggle the process-global instrumentation
+/// flag; the uninstrumented tests above are indifferent to it.
+static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn assert_identifications_identical(a: &Identification, b: &Identification, what: &str) {
+    assert_eq!(a.verdict, b.verdict, "{what}");
+    assert_eq!(a.num_probes, b.num_probes, "{what}");
+    assert_bits_eq(a.loss_rate, b.loss_rate, what);
+    assert_eq!(a.bin_width, b.bin_width, "{what}");
+    for (outcome_a, outcome_b) in [(&a.sdcl, &b.sdcl), (&a.wdcl, &b.wdcl)] {
+        assert_eq!(outcome_a.accepted, outcome_b.accepted, "{what}");
+        assert_eq!(outcome_a.d_star, outcome_b.d_star, "{what}");
+        assert_bits_eq(outcome_a.f_at_2d_star, outcome_b.f_at_2d_star, what);
+        assert_bits_eq(outcome_a.threshold, outcome_b.threshold, what);
+    }
+    assert_eq!(a.pmf.mass().len(), b.pmf.mass().len(), "{what}");
+    for (ma, mb) in a.pmf.mass().iter().zip(b.pmf.mass()) {
+        assert_bits_eq(*ma, *mb, what);
+    }
+}
+
+/// The observability tentpole guarantee: with instrumentation on, both
+/// the *numeric result* and the *merged event stream* of `identify` are
+/// identical at every thread count (canonicalised to ignore wall-clock
+/// timings, the schema's one intentionally nondeterministic field).
+#[test]
+fn instrumented_identify_stream_and_results_identical_at_every_thread_count() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let trace = dominant_trace(3_000);
+    let cfg = |parallelism| IdentifyConfig {
+        estimate_bound: false,
+        restarts: 3,
+        parallelism,
+        ..IdentifyConfig::default()
+    };
+
+    obs::set_enabled(true);
+    let mut runs = Vec::new();
+    for p in PARALLELISMS {
+        let (result, events) = obs::capture(|| identify(&trace, &cfg(p)).expect("usable trace"));
+        let canonical: Vec<obs::Event> = events.iter().map(obs::Event::canonical).collect();
+        runs.push((p, result, canonical));
+    }
+    obs::set_enabled(false);
+
+    let (_, ref_result, ref_stream) = &runs[0];
+    assert!(!ref_stream.is_empty(), "instrumented run emitted no events");
+    for kind in ["em-iteration", "em-restart", "test-decision", "identification"] {
+        assert!(
+            ref_stream.iter().any(|e| e.kind() == kind),
+            "no {kind} event in instrumented identify stream"
+        );
+    }
+    for (p, result, stream) in &runs[1..] {
+        assert_identifications_identical(
+            result,
+            ref_result,
+            &format!("instrumented identify at parallelism {p:?}"),
+        );
+        assert_eq!(
+            stream.len(),
+            ref_stream.len(),
+            "event count differs at parallelism {p:?}"
+        );
+        for (i, (ev, ref_ev)) in stream.iter().zip(ref_stream).enumerate() {
+            assert_eq!(ev, ref_ev, "event {i} differs at parallelism {p:?}");
+        }
+    }
+}
+
+/// Enabling instrumentation must not change a single bit of the numeric
+/// output (events are a pure tap on the computation).
+#[test]
+fn enabling_instrumentation_changes_no_identify_bit() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let trace = dominant_trace(3_000);
+    let cfg = IdentifyConfig {
+        estimate_bound: false,
+        restarts: 3,
+        parallelism: Some(2),
+        ..IdentifyConfig::default()
+    };
+
+    obs::set_enabled(false);
+    let off = identify(&trace, &cfg).expect("usable trace");
+    obs::set_enabled(true);
+    let (on, events) = obs::capture(|| identify(&trace, &cfg).expect("usable trace"));
+    obs::set_enabled(false);
+
+    assert!(!events.is_empty());
+    assert_identifications_identical(&on, &off, "obs on vs off");
+}
+
 /// The environment default also pins the inner EM parallelism: an
 /// `IdentifyConfig` with an explicit `parallelism` must thread it through
 /// to the estimator and still match the serial verdict.
