@@ -10,7 +10,10 @@
 #      results are independent of the thread count CI happens to have;
 #   3. an instrumented smoke run whose JSONL artifact must parse back
 #      through the event schema (obs_check);
-#   4. clippy with warnings denied on the crates this layer touches.
+#   4. the robustness job: the end-to-end no-panic/no-NaN property suite
+#      plus a seeded fault-injection smoke sweep whose artifact must
+#      contain fault-injection events;
+#   5. clippy with warnings denied on the crates this layer touches.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -35,8 +38,15 @@ trap 'rm -f "$OBS_ARTIFACT"' EXIT
 cargo run --release -q -p dcl-bench --bin table2 -- 40 --obs "$OBS_ARTIFACT"
 cargo run --release -q -p dcl-bench --bin obs_check -- "$OBS_ARTIFACT" 4
 
+echo "== robustness: no-panic property suite + fault-injection smoke"
+cargo test -q --test fault_robustness
+FAULT_ARTIFACT=$(mktemp -t dcl-fault-smoke.XXXXXX.jsonl)
+trap 'rm -f "$OBS_ARTIFACT" "$FAULT_ARTIFACT"' EXIT
+cargo run --release -q -p dcl-bench --bin robustness -- --quick --obs "$FAULT_ARTIFACT"
+cargo run --release -q -p dcl-bench --bin obs_check -- "$FAULT_ARTIFACT" 1
+
 echo "== clippy (deny warnings) on the parallel-layer crates"
 cargo clippy -q -p dcl-parallel -p dcl-obs -p dcl-probnum -p dcl-hmm \
-  -p dcl-mmhd -p dcl-core -p dcl-bench --all-targets -- -D warnings
+  -p dcl-mmhd -p dcl-core -p dcl-bench -p dcl-faults --all-targets -- -D warnings
 
 echo "CI OK"

@@ -74,6 +74,7 @@ fn bench_mmhd_fit(c: &mut Criterion) {
                     empirical_init: true,
                     tied_loss: false,
                     parallelism: Some(1),
+                    guard_retries: 2,
                 },
             )
         })
@@ -100,6 +101,7 @@ fn bench_mmhd_fit_restarts(c: &mut Criterion) {
         empirical_init: false,
         tied_loss: false,
         parallelism,
+        guard_retries: 2,
     };
     g.bench_function("R4_serial", |b| {
         let o = opts(Some(1));

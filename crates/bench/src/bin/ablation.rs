@@ -46,8 +46,8 @@ fn evaluate(trace: &ProbeTrace, expect_dominant: bool, log: &ExperimentLog, scen
         };
         let truth = GroundTruth.estimate(trace, &disc).expect("losses");
         let pmf = match v.est.estimate(trace, &disc) {
-            Some(p) => p,
-            None => continue,
+            Ok(p) => p,
+            Err(_) => continue,
         };
         let tv = pmf.total_variation(&truth);
         let out = wdcl_test(&pmf.cdf(), WdclParams::paper_ns(), 0.01);

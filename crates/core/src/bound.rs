@@ -74,7 +74,7 @@ pub fn heuristic_upper_bound(
     let comps = pmf.connected_components(floor);
     let (first, last, _) = comps
         .into_iter()
-        .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite masses"))?;
+        .max_by(|a, b| a.2.total_cmp(&b.2))?;
     let start = (first..=last)
         .find(|&l| pmf.prob(l) > significant)
         .unwrap_or(first);

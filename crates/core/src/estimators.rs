@@ -12,7 +12,37 @@
 
 use crate::discretize::Discretizer;
 use dcl_netsim::trace::ProbeTrace;
-use dcl_probnum::Pmf;
+use dcl_probnum::{FitError, Pmf};
+use std::fmt;
+
+/// Why an estimator could not produce a distribution. Every variant is a
+/// property of the *input trace* (or of the fit it induced) — estimators
+/// never panic on unusable measurement data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateError {
+    /// The trace yields no observations at all.
+    NoData,
+    /// The trace contains no lost probes, so there is no loss-delay
+    /// distribution to estimate.
+    NoLosses,
+    /// The loss-pair baseline found no loss pairs in the trace.
+    NoLossPairs,
+    /// The EM fit failed or produced a degenerate loss-delay posterior.
+    Fit(FitError),
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::NoData => write!(f, "trace yields no observations"),
+            EstimateError::NoLosses => write!(f, "trace contains no losses"),
+            EstimateError::NoLossPairs => write!(f, "trace contains no loss pairs"),
+            EstimateError::Fit(e) => write!(f, "model fit failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
 
 /// A strategy for estimating the distribution of the end-end virtual
 /// queuing delay of lost probes.
@@ -20,9 +50,19 @@ pub trait VqdEstimator {
     /// Short name for reports ("mmhd", "loss-pair", ...).
     fn name(&self) -> &'static str;
 
-    /// Estimate the PMF over the discretiser's symbols. `None` when the
-    /// trace carries no usable information (e.g. no losses).
-    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Option<Pmf>;
+    /// Estimate the PMF over the discretiser's symbols. Returns a typed
+    /// [`EstimateError`] when the trace carries no usable information
+    /// (e.g. no losses) or the model fit breaks down.
+    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Result<Pmf, EstimateError>;
+}
+
+/// A fitted loss-delay PMF is only reportable if it exists and every mass
+/// entry is finite; anything else is a degenerate posterior.
+fn check_pmf(pmf: Option<Pmf>) -> Result<Pmf, EstimateError> {
+    match pmf {
+        Some(p) if p.mass().iter().all(|x| x.is_finite()) => Ok(p),
+        _ => Err(EstimateError::Fit(FitError::DegeneratePosterior)),
+    }
 }
 
 /// Ground truth from the simulator's virtual probes.
@@ -34,8 +74,9 @@ impl VqdEstimator for GroundTruth {
         "ns-virtual"
     }
 
-    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Option<Pmf> {
+    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Result<Pmf, EstimateError> {
         disc.queuing_pmf(&trace.ground_truth_virtual_delays())
+            .ok_or(EstimateError::NoLosses)
     }
 }
 
@@ -49,12 +90,13 @@ impl VqdEstimator for LossPairEstimator {
         "loss-pair"
     }
 
-    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Option<Pmf> {
+    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Result<Pmf, EstimateError> {
         let analysis = dcl_losspair::extract(trace);
         if analysis.pairs.is_empty() {
-            return None;
+            return Err(EstimateError::NoLossPairs);
         }
         disc.queuing_pmf(&analysis.virtual_queuing_samples(disc.floor()))
+            .ok_or(EstimateError::NoLossPairs)
     }
 }
 
@@ -95,12 +137,15 @@ impl VqdEstimator for HmmEstimator {
         "hmm"
     }
 
-    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Option<Pmf> {
+    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Result<Pmf, EstimateError> {
         let obs = disc.observations(trace);
-        if obs.is_empty() || !obs.iter().any(|o| o.is_loss()) {
-            return None;
+        if obs.is_empty() {
+            return Err(EstimateError::NoData);
         }
-        let fit = dcl_hmm::fit(
+        if !obs.iter().any(|o| o.is_loss()) {
+            return Err(EstimateError::NoLosses);
+        }
+        let fit = dcl_hmm::try_fit(
             &obs,
             &dcl_hmm::EmOptions {
                 num_states: self.num_states,
@@ -111,9 +156,11 @@ impl VqdEstimator for HmmEstimator {
                 restarts: self.restarts,
                 restrict_loss_to_observed: true,
                 parallelism: self.parallelism,
+                guard_retries: 2,
             },
-        );
-        fit.model.loss_delay_pmf(&obs)
+        )
+        .map_err(EstimateError::Fit)?;
+        check_pmf(fit.model.loss_delay_pmf(&obs))
     }
 }
 
@@ -163,12 +210,15 @@ impl VqdEstimator for MmhdEstimator {
         "mmhd"
     }
 
-    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Option<Pmf> {
+    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Result<Pmf, EstimateError> {
         let obs = disc.observations(trace);
-        if obs.is_empty() || !obs.iter().any(|o| o.is_loss()) {
-            return None;
+        if obs.is_empty() {
+            return Err(EstimateError::NoData);
         }
-        let fit = dcl_mmhd::fit(
+        if !obs.iter().any(|o| o.is_loss()) {
+            return Err(EstimateError::NoLosses);
+        }
+        let fit = dcl_mmhd::try_fit(
             &obs,
             &dcl_mmhd::EmOptions {
                 num_hidden: self.num_hidden,
@@ -181,9 +231,11 @@ impl VqdEstimator for MmhdEstimator {
                 empirical_init: self.empirical_init,
                 tied_loss: self.tied_loss,
                 parallelism: self.parallelism,
+                guard_retries: 2,
             },
-        );
-        fit.model.loss_delay_pmf(&obs)
+        )
+        .map_err(EstimateError::Fit)?;
+        check_pmf(fit.model.loss_delay_pmf(&obs))
     }
 }
 
@@ -217,25 +269,32 @@ impl VqdEstimator for MmhdEnsemble {
         "mmhd-ensemble"
     }
 
-    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Option<Pmf> {
+    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Result<Pmf, EstimateError> {
         let mut acc = vec![0.0; disc.num_symbols()];
         let mut members = 0usize;
+        let mut last_err = EstimateError::NoData;
         for &n in &self.hidden {
             let est = MmhdEstimator {
                 num_hidden: n,
                 ..self.base
             };
-            if let Some(pmf) = est.estimate(trace, disc) {
-                for (a, &p) in acc.iter_mut().zip(pmf.mass()) {
-                    *a += p;
+            match est.estimate(trace, disc) {
+                Ok(pmf) => {
+                    for (a, &p) in acc.iter_mut().zip(pmf.mass()) {
+                        *a += p;
+                    }
+                    members += 1;
                 }
-                members += 1;
+                // A member landing in a degenerate basin is exactly what
+                // the ensemble exists to absorb; only if every member
+                // fails does the error (the last one) surface.
+                Err(e) => last_err = e,
             }
         }
         if members == 0 {
-            return None;
+            return Err(last_err);
         }
-        Some(Pmf::from_mass(acc))
+        Ok(Pmf::from_mass(acc))
     }
 }
 
@@ -314,14 +373,14 @@ mod tests {
     fn loss_pair_estimator_needs_pairs() {
         let single = synthetic_trace(200, false);
         let disc = Discretizer::from_trace(&single, 5, None).unwrap();
-        assert!(LossPairEstimator.estimate(&single, &disc).is_none());
+        assert!(LossPairEstimator.estimate(&single, &disc).is_err());
 
         let paired = synthetic_trace(400, true);
         let disc = Discretizer::from_trace(&paired, 5, None).unwrap();
         // In the synthetic pattern the lost probe (phase 17) sits next to a
         // delivered congested probe, so loss pairs exist.
         let pmf = LossPairEstimator.estimate(&paired, &disc);
-        assert!(pmf.is_some());
+        assert!(pmf.is_ok());
     }
 
     #[test]
@@ -341,8 +400,17 @@ mod tests {
         let mut t = synthetic_trace(100, false);
         t.records.retain(|r| r.delivered());
         let disc = Discretizer::from_trace(&t, 5, None).unwrap();
-        assert!(GroundTruth.estimate(&t, &disc).is_none());
-        assert!(MmhdEstimator::default().estimate(&t, &disc).is_none());
-        assert!(HmmEstimator::default().estimate(&t, &disc).is_none());
+        assert_eq!(
+            GroundTruth.estimate(&t, &disc).err(),
+            Some(EstimateError::NoLosses)
+        );
+        assert_eq!(
+            MmhdEstimator::default().estimate(&t, &disc).err(),
+            Some(EstimateError::NoLosses)
+        );
+        assert_eq!(
+            HmmEstimator::default().estimate(&t, &disc).err(),
+            Some(EstimateError::NoLosses)
+        );
     }
 }

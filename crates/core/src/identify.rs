@@ -9,11 +9,11 @@
 
 use crate::bound::{heuristic_upper_bound, upper_bound_from_cdf, HeuristicParams};
 use crate::discretize::Discretizer;
-use crate::estimators::{HmmEstimator, MmhdEstimator, VqdEstimator};
+use crate::estimators::{EstimateError, HmmEstimator, MmhdEstimator, VqdEstimator};
 use crate::hyptest::{sdcl_test, wdcl_test, TestOutcome, WdclParams};
 use dcl_netsim::time::Dur;
-use dcl_netsim::trace::ProbeTrace;
-use dcl_probnum::Pmf;
+use dcl_netsim::trace::{ProbeTrace, TraceSanitation};
+use dcl_probnum::{FitError, Pmf};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -66,6 +66,11 @@ pub struct IdentifyConfig {
     /// path. The identification result is bitwise identical at every
     /// setting.
     pub parallelism: Option<usize>,
+    /// Minimum lost probes required to attempt estimation. A loss-delay
+    /// distribution inferred from a single loss cannot support a verdict;
+    /// below this the pipeline returns [`IdentifyError::TooFewLosses`]
+    /// instead of an overconfident answer.
+    pub min_losses: usize,
 }
 
 impl Default for IdentifyConfig {
@@ -83,6 +88,7 @@ impl Default for IdentifyConfig {
             seed: 1,
             restarts: 6,
             parallelism: None,
+            min_losses: 2,
         }
     }
 }
@@ -109,6 +115,64 @@ impl fmt::Display for Verdict {
     }
 }
 
+/// A non-fatal degradation the pipeline worked around. Verdicts carrying
+/// warnings are still valid but were computed from a repaired trace;
+/// callers distinguishing clean from degraded runs check
+/// [`Identification::warnings`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Warning {
+    /// Probe records arrived out of sequence order and were re-sorted.
+    Reordered {
+        /// Out-of-order records detected.
+        count: usize,
+    },
+    /// Duplicate sequence numbers were dropped (first occurrence kept).
+    DuplicatesDropped {
+        /// Duplicates removed.
+        count: usize,
+    },
+    /// Corrupt records (arrival before sending) were dropped.
+    CorruptDropped {
+        /// Corrupt records removed.
+        count: usize,
+    },
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Warning::Reordered { count } => {
+                write!(f, "{count} out-of-order records re-sorted")
+            }
+            Warning::DuplicatesDropped { count } => {
+                write!(f, "{count} duplicate sequence numbers dropped")
+            }
+            Warning::CorruptDropped { count } => {
+                write!(f, "{count} corrupt records dropped")
+            }
+        }
+    }
+}
+
+/// Build the warning list for a sanitation report (empty when clean).
+fn sanitation_warnings(san: &TraceSanitation) -> Vec<Warning> {
+    let mut w = Vec::new();
+    if san.out_of_order > 0 {
+        w.push(Warning::Reordered {
+            count: san.out_of_order,
+        });
+    }
+    if san.duplicates > 0 {
+        w.push(Warning::DuplicatesDropped {
+            count: san.duplicates,
+        });
+    }
+    if san.corrupt > 0 {
+        w.push(Warning::CorruptDropped { count: san.corrupt });
+    }
+    w
+}
+
 /// Full identification report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Identification {
@@ -131,6 +195,9 @@ pub struct Identification {
     pub bound_basic: Option<Dur>,
     /// Connected-component heuristic bound on the finer discretisation.
     pub bound_heuristic: Option<Dur>,
+    /// Non-fatal degradations the pipeline repaired on the way to this
+    /// verdict; empty for a clean trace.
+    pub warnings: Vec<Warning>,
 }
 
 /// Why identification could not run.
@@ -143,6 +210,25 @@ pub enum IdentifyError {
     NoLosses,
     /// Every probe was lost, or delays carry no variation to discretise.
     DegenerateDelays,
+    /// Fewer losses than [`IdentifyConfig::min_losses`]: too little
+    /// evidence to estimate a loss-delay distribution.
+    TooFewLosses {
+        /// Losses in the trace.
+        losses: usize,
+        /// The configured minimum.
+        required: usize,
+    },
+    /// Sanitisation had to drop so many records (duplicates, corruption)
+    /// that the remainder cannot be trusted as a measurement.
+    TraceInconsistent {
+        /// Records dropped by sanitisation.
+        dropped: usize,
+        /// Records remaining.
+        kept: usize,
+    },
+    /// The model fit failed despite the guarded retries; the typed cause
+    /// is attached.
+    EstimationFailed(FitError),
 }
 
 impl fmt::Display for IdentifyError {
@@ -153,6 +239,16 @@ impl fmt::Display for IdentifyError {
             IdentifyError::DegenerateDelays => {
                 write!(f, "trace delays are degenerate (no variation or no deliveries)")
             }
+            IdentifyError::TooFewLosses { losses, required } => {
+                write!(f, "only {losses} losses in the trace (need {required})")
+            }
+            IdentifyError::TraceInconsistent { dropped, kept } => {
+                write!(
+                    f,
+                    "trace is inconsistent: sanitisation dropped {dropped} records, kept {kept}"
+                )
+            }
+            IdentifyError::EstimationFailed(e) => write!(f, "estimation failed: {e}"),
         }
     }
 }
@@ -181,21 +277,61 @@ fn make_estimator(cfg: &IdentifyConfig) -> Box<dyn VqdEstimator> {
     }
 }
 
+/// Map an estimator failure to the pipeline error taxonomy.
+fn estimate_error(e: EstimateError) -> IdentifyError {
+    match e {
+        EstimateError::NoData | EstimateError::NoLosses | EstimateError::NoLossPairs => {
+            IdentifyError::NoLosses
+        }
+        EstimateError::Fit(fe) => IdentifyError::EstimationFailed(fe),
+    }
+}
+
 /// Run the full pipeline on a probe trace.
+///
+/// Malformed traces are sanitised first (re-sorted, duplicates and
+/// corrupt records dropped); the repairs surface as
+/// [`Identification::warnings`]. A clean trace passes through
+/// sanitisation bitwise untouched, so clean-trace results are identical
+/// to the unsanitised pipeline.
 pub fn identify(trace: &ProbeTrace, cfg: &IdentifyConfig) -> Result<Identification, IdentifyError> {
     let _span = dcl_obs::span("identify");
     if trace.is_empty() {
         return Err(IdentifyError::EmptyTrace);
     }
-    if trace.loss_count() == 0 {
+    let (sanitized, san) = trace.sanitized();
+    let trace = &sanitized;
+    let warnings = sanitation_warnings(&san);
+    // A trace that loses half its records to repairs is not a
+    // measurement any more.
+    if san.dropped() * 2 > trace.len() + san.dropped() {
+        return Err(IdentifyError::TraceInconsistent {
+            dropped: san.dropped(),
+            kept: trace.len(),
+        });
+    }
+    if trace.is_empty() {
+        return Err(IdentifyError::TraceInconsistent {
+            dropped: san.dropped(),
+            kept: 0,
+        });
+    }
+    let losses = trace.loss_count();
+    if losses == 0 {
         return Err(IdentifyError::NoLosses);
+    }
+    if losses < cfg.min_losses {
+        return Err(IdentifyError::TooFewLosses {
+            losses,
+            required: cfg.min_losses,
+        });
     }
     let disc = Discretizer::from_trace(trace, cfg.num_symbols, cfg.known_floor)
         .ok_or(IdentifyError::DegenerateDelays)?;
     let estimator = make_estimator(cfg);
     let pmf = estimator
         .estimate(trace, &disc)
-        .ok_or(IdentifyError::NoLosses)?;
+        .map_err(estimate_error)?;
     let cdf = pmf.cdf();
     let sdcl = sdcl_test(&cdf, cfg.numeric_floor);
     let wdcl = wdcl_test(&cdf, cfg.wdcl, cfg.numeric_floor);
@@ -218,10 +354,13 @@ pub fn identify(trace: &ProbeTrace, cfg: &IdentifyConfig) -> Result<Identificati
             restarts: cfg.restarts.min(2),
             ..*cfg
         });
+        // A failed fine fit only costs the sharper bound, never the
+        // verdict itself.
         let heuristic = Discretizer::from_trace(trace, cfg.bound_symbols, cfg.known_floor)
             .and_then(|fine| {
                 fine_estimator
                     .estimate(trace, &fine)
+                    .ok()
                     .and_then(|fine_pmf| {
                         heuristic_upper_bound(&fine_pmf, HeuristicParams::default(), &fine)
                     })
@@ -253,6 +392,7 @@ pub fn identify(trace: &ProbeTrace, cfg: &IdentifyConfig) -> Result<Identificati
         bin_width: disc.bin_width(),
         bound_basic,
         bound_heuristic,
+        warnings,
     })
 }
 

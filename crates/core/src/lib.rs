@@ -52,8 +52,8 @@ pub mod report;
 pub mod sweep;
 
 pub use discretize::Discretizer;
-pub use estimators::{GroundTruth, HmmEstimator, LossPairEstimator, MmhdEnsemble, MmhdEstimator, VqdEstimator};
+pub use estimators::{EstimateError, GroundTruth, HmmEstimator, LossPairEstimator, MmhdEnsemble, MmhdEstimator, VqdEstimator};
 pub use hyptest::{sdcl_test, wdcl_test, TestOutcome, WdclParams};
-pub use identify::{identify, Identification, IdentifyConfig, IdentifyError, ModelKind, Verdict};
+pub use identify::{identify, Identification, IdentifyConfig, IdentifyError, ModelKind, Verdict, Warning};
 pub use localize::{localize, Localization, PrefixProber, SimulatedPrefixProber};
 pub use sweep::{duration_sweep, SweepConfig, SweepPoint, SweepResult};

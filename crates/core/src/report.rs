@@ -66,6 +66,9 @@ impl fmt::Display for Identification {
             (None, Some(b)) => write!(f, "max queuing delay bound: {b}")?,
             (None, None) => write!(f, "max queuing delay bound: n/a")?,
         }
+        for w in &self.warnings {
+            write!(f, "\nwarning: {w}")?;
+        }
         Ok(())
     }
 }
@@ -99,6 +102,7 @@ mod tests {
             bin_width: Dur::from_millis(32.0),
             bound_basic: Some(Dur::from_millis(96.0)),
             bound_heuristic: Some(Dur::from_millis(118.0)),
+            warnings: vec![],
         }
     }
 
@@ -118,6 +122,13 @@ mod tests {
         id.bound_basic = None;
         id.bound_heuristic = None;
         assert!(id.to_string().contains("bound: n/a"));
+    }
+
+    #[test]
+    fn display_lists_warnings() {
+        let mut id = sample();
+        id.warnings = vec![crate::identify::Warning::Reordered { count: 7 }];
+        assert!(id.to_string().contains("warning: 7 out-of-order records re-sorted"));
     }
 
     #[test]

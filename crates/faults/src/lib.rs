@@ -1,0 +1,612 @@
+//! Deterministic measurement-impairment layer for probe traces.
+//!
+//! The paper evaluates the identification method on clean simulator
+//! traces, but pitches it at *real* end-to-end measurements — which
+//! suffer burst losses, reordering, duplication, unsynchronised clocks,
+//! outlier delays, and outright corruption. This crate turns a clean
+//! [`ProbeTrace`] into an impaired one through a seeded stack of
+//! composable fault models, so every downstream layer can be exercised
+//! (and regression-tested) against realistic disruptions.
+//!
+//! Everything is a pure function of `(trace, plan)`: each fault in a
+//! [`FaultPlan`] draws from its own `SmallRng` seeded from the plan seed
+//! and the fault's position in the stack, so a plan replays bit-for-bit
+//! regardless of host, thread count, or what ran before it. Each applied
+//! fault emits a `dcl-obs` [`fault-injection`](dcl_obs::Event::FaultInjection)
+//! event, making injected impairments visible in run artifacts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dcl_netsim::packet::LOSS_HOP_UNKNOWN;
+use dcl_netsim::sim::ProbeRecord;
+use dcl_netsim::time::{Dur, Time};
+use dcl_netsim::trace::ProbeTrace;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hard cap on any injected extra delay. The heavy-tailed spike model is
+/// unbounded in theory; ten simulated seconds is far beyond any real
+/// queue and keeps nanosecond arithmetic far from overflow.
+const MAX_SPIKE: Dur = Dur::from_nanos(10_000_000_000);
+
+/// One composable fault model. All probabilities are clamped to `[0, 1]`
+/// at application time, so arbitrary (e.g. property-test generated)
+/// parameters are safe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Two-state Gilbert–Elliott burst loss: a good/bad Markov chain
+    /// advanced per probe, dropping delivered probes with the state's
+    /// loss probability. Injected losses get the
+    /// [`LOSS_HOP_UNKNOWN`] sentinel — exactly like losses imported from
+    /// real measurements.
+    GilbertElliott {
+        /// P(good -> bad) per probe.
+        p_enter: f64,
+        /// P(bad -> good) per probe.
+        p_exit: f64,
+        /// Loss probability in the good state.
+        loss_good: f64,
+        /// Loss probability in the bad state.
+        loss_bad: f64,
+    },
+    /// Probe reordering: each record is, with probability `rate`, swapped
+    /// with a uniformly chosen record up to `max_displacement` positions
+    /// ahead — scrambling the *log order* while leaving stamps intact,
+    /// the way measurement collectors interleave late arrivals.
+    Reorder {
+        /// Per-record displacement probability.
+        rate: f64,
+        /// Maximum forward displacement (positions).
+        max_displacement: usize,
+    },
+    /// Probe duplication: each record is, with probability `rate`,
+    /// recorded twice in a row (duplicate sequence number, identical
+    /// payload) — retransmission or collector double-write.
+    Duplicate {
+        /// Per-record duplication probability.
+        rate: f64,
+    },
+    /// Receiver clock offset and drift: every recorded arrival is
+    /// re-stamped with a constant offset plus a skew proportional to the
+    /// probe's send time — the impairment `dcl-clocksync` exists to
+    /// remove (see [`deskew`]). Negative results clamp at time zero.
+    ClockDrift {
+        /// Constant receiver clock offset in milliseconds (may be
+        /// negative).
+        offset_ms: f64,
+        /// Relative skew in parts per million of elapsed send time.
+        skew_ppm: f64,
+    },
+    /// Heavy-tailed delay spikes: with probability `rate` a delivered
+    /// probe's arrival is pushed back by a Pareto-distributed extra delay
+    /// `scale_ms * (U^(-1/alpha) - 1)` — OS scheduling stalls, route
+    /// flaps, bufferbloat outliers.
+    DelaySpikes {
+        /// Per-record spike probability.
+        rate: f64,
+        /// Pareto scale in milliseconds.
+        scale_ms: f64,
+        /// Pareto tail index (smaller = heavier tail); clamped to at
+        /// least 0.1.
+        alpha: f64,
+    },
+    /// Trace truncation: keep only the leading `keep_fraction` of the
+    /// records — a measurement session cut short.
+    Truncate {
+        /// Fraction of records kept, clamped to `[0, 1]`.
+        keep_fraction: f64,
+    },
+    /// Record corruption: with probability `rate` a delivered record's
+    /// arrival is rewritten to precede its send time — an impossible
+    /// measurement a robust consumer must drop, not believe.
+    Corrupt {
+        /// Per-record corruption probability.
+        rate: f64,
+    },
+}
+
+impl Fault {
+    /// Stable name used as the `fault` field of the emitted
+    /// [`dcl_obs::Event::FaultInjection`] event.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::GilbertElliott { .. } => "gilbert-elliott",
+            Fault::Reorder { .. } => "reorder",
+            Fault::Duplicate { .. } => "duplicate",
+            Fault::ClockDrift { .. } => "clock-drift",
+            Fault::DelaySpikes { .. } => "delay-spikes",
+            Fault::Truncate { .. } => "truncate",
+            Fault::Corrupt { .. } => "corrupt",
+        }
+    }
+
+    /// Apply this fault in place, drawing from `rng`. Returns the number
+    /// of records it touched.
+    fn apply(&self, records: &mut Vec<ProbeRecord>, rng: &mut SmallRng) -> u64 {
+        match *self {
+            Fault::GilbertElliott {
+                p_enter,
+                p_exit,
+                loss_good,
+                loss_bad,
+            } => {
+                let (p_enter, p_exit) = (p_enter.clamp(0.0, 1.0), p_exit.clamp(0.0, 1.0));
+                let (loss_good, loss_bad) = (loss_good.clamp(0.0, 1.0), loss_bad.clamp(0.0, 1.0));
+                let mut bad = false;
+                let mut affected = 0;
+                for r in records.iter_mut() {
+                    bad = if bad {
+                        rng.gen::<f64>() >= p_exit
+                    } else {
+                        rng.gen::<f64>() < p_enter
+                    };
+                    let p_loss = if bad { loss_bad } else { loss_good };
+                    if r.delivered() && rng.gen::<f64>() < p_loss {
+                        r.arrival = None;
+                        r.stamp.loss_hop = Some(LOSS_HOP_UNKNOWN);
+                        affected += 1;
+                    }
+                }
+                affected
+            }
+            Fault::Reorder {
+                rate,
+                max_displacement,
+            } => {
+                let rate = rate.clamp(0.0, 1.0);
+                let mut affected = 0;
+                if max_displacement == 0 || records.len() < 2 {
+                    return 0;
+                }
+                for i in 0..records.len() {
+                    if rng.gen::<f64>() < rate {
+                        let j = (i + 1 + rng.gen_range(0..max_displacement))
+                            .min(records.len() - 1);
+                        if j != i {
+                            records.swap(i, j);
+                            affected += 1;
+                        }
+                    }
+                }
+                affected
+            }
+            Fault::Duplicate { rate } => {
+                let rate = rate.clamp(0.0, 1.0);
+                let mut out = Vec::with_capacity(records.len());
+                let mut affected = 0;
+                for r in records.drain(..) {
+                    let dup = rng.gen::<f64>() < rate;
+                    if dup {
+                        out.push(r.clone());
+                        affected += 1;
+                    }
+                    out.push(r);
+                }
+                *records = out;
+                affected
+            }
+            Fault::ClockDrift { offset_ms, skew_ppm } => {
+                let offset_ns = (offset_ms * 1e6) as i128;
+                let mut affected = 0;
+                for r in records.iter_mut() {
+                    if let Some(a) = r.arrival {
+                        let drift_ns =
+                            (skew_ppm * 1e-6 * r.stamp.sent_at.as_nanos() as f64) as i128;
+                        let shifted = a.as_nanos() as i128 + offset_ns + drift_ns;
+                        r.arrival = Some(Time::from_nanos(
+                            shifted.clamp(0, u64::MAX as i128) as u64
+                        ));
+                        affected += 1;
+                    }
+                }
+                affected
+            }
+            Fault::DelaySpikes { rate, scale_ms, alpha } => {
+                let rate = rate.clamp(0.0, 1.0);
+                let alpha = alpha.max(0.1);
+                let scale = Dur::from_millis(scale_ms.max(0.0));
+                let mut affected = 0;
+                for r in records.iter_mut() {
+                    if let Some(a) = r.arrival {
+                        if rng.gen::<f64>() < rate {
+                            // Pareto excess: scale * (U^(-1/alpha) - 1).
+                            let u: f64 = rng.gen::<f64>().max(1e-12);
+                            let factor = (u.powf(-1.0 / alpha) - 1.0).max(0.0);
+                            let extra_ns = (scale.as_nanos() as f64 * factor)
+                                .min(MAX_SPIKE.as_nanos() as f64);
+                            r.arrival = Some(a + Dur::from_nanos(extra_ns as u64));
+                            affected += 1;
+                        }
+                    }
+                }
+                affected
+            }
+            Fault::Truncate { keep_fraction } => {
+                let keep = ((records.len() as f64) * keep_fraction.clamp(0.0, 1.0))
+                    .round() as usize;
+                let dropped = records.len().saturating_sub(keep);
+                records.truncate(keep);
+                dropped as u64
+            }
+            Fault::Corrupt { rate } => {
+                let rate = rate.clamp(0.0, 1.0);
+                let mut affected = 0;
+                for r in records.iter_mut() {
+                    if r.delivered() && rng.gen::<f64>() < rate {
+                        // An arrival strictly before sending: impossible,
+                        // and detectably so.
+                        let sent = r.stamp.sent_at.as_nanos();
+                        r.arrival = Some(Time::from_nanos(sent.saturating_sub(1_000_000).max(0)));
+                        // A probe sent at t=0 cannot get a strictly
+                        // earlier arrival; shift its send time instead.
+                        if sent == 0 {
+                            r.stamp.sent_at = Time::from_nanos(1_000_000);
+                            r.arrival = Some(Time::ZERO);
+                        }
+                        affected += 1;
+                    }
+                }
+                affected
+            }
+        }
+    }
+}
+
+/// What one applied fault did.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultOutcome {
+    /// Fault model name (see [`Fault::name`]).
+    pub fault: String,
+    /// The RNG seed the fault drew from.
+    pub seed: u64,
+    /// Records the fault touched.
+    pub affected: u64,
+}
+
+/// Report of a full [`FaultPlan::apply`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Per-fault outcomes, in stack order.
+    pub outcomes: Vec<FaultOutcome>,
+}
+
+impl FaultReport {
+    /// Total records touched across the stack (a record touched by two
+    /// faults counts twice).
+    pub fn total_affected(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.affected).sum()
+    }
+}
+
+/// A seeded stack of faults applied in order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Base seed; fault `i` draws from
+    /// `SmallRng::seed_from_u64(seed + i * 0x9E37)`.
+    pub seed: u64,
+    /// Faults, applied first to last.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults: `apply` is the identity.
+    pub fn identity(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Apply the stack to a trace, returning the impaired trace and the
+    /// per-fault report. Pure in `(trace, self)`; emits one
+    /// [`dcl_obs::Event::FaultInjection`] per fault when instrumentation
+    /// is enabled.
+    pub fn apply(&self, trace: &ProbeTrace) -> (ProbeTrace, FaultReport) {
+        let mut out = trace.clone();
+        let mut report = FaultReport::default();
+        for (i, fault) in self.faults.iter().enumerate() {
+            let seed = self.seed.wrapping_add(i as u64 * 0x9E37);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let affected = fault.apply(&mut out.records, &mut rng);
+            dcl_obs::record_with(|| dcl_obs::Event::FaultInjection {
+                fault: fault.name().to_string(),
+                seed,
+                affected,
+            });
+            report.outcomes.push(FaultOutcome {
+                fault: fault.name().to_string(),
+                seed,
+                affected,
+            });
+        }
+        (out, report)
+    }
+
+    /// A randomly sampled fault stack for property testing: up to
+    /// `max_faults` models drawn without duplicate kinds, with parameter
+    /// magnitudes scaled by `intensity` in `[0, 1]`. Deterministic in
+    /// `(seed, intensity, max_faults)`.
+    pub fn sampled(seed: u64, intensity: f64, max_faults: usize) -> FaultPlan {
+        let intensity = intensity.clamp(0.0, 1.0);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA_017);
+        let menu: Vec<Fault> = vec![
+            Fault::GilbertElliott {
+                p_enter: 0.05 * intensity,
+                p_exit: 0.3,
+                loss_good: 0.002 * intensity,
+                loss_bad: 0.5 * intensity,
+            },
+            Fault::Reorder {
+                rate: 0.1 * intensity,
+                max_displacement: 1 + (10.0 * intensity) as usize,
+            },
+            Fault::Duplicate {
+                rate: 0.05 * intensity,
+            },
+            Fault::ClockDrift {
+                offset_ms: 40.0 * intensity * if rng.gen::<bool>() { 1.0 } else { -1.0 },
+                skew_ppm: 200.0 * intensity,
+            },
+            Fault::DelaySpikes {
+                rate: 0.05 * intensity,
+                scale_ms: 50.0 * intensity,
+                alpha: 1.5,
+            },
+            Fault::Truncate {
+                keep_fraction: 1.0 - 0.5 * intensity * rng.gen::<f64>(),
+            },
+            Fault::Corrupt {
+                rate: 0.03 * intensity,
+            },
+        ];
+        let count = rng.gen_range(0..max_faults.min(menu.len()) + 1);
+        // Choose `count` distinct kinds by index, preserving menu order.
+        let mut chosen: Vec<usize> = (0..menu.len()).collect();
+        for i in 0..menu.len() {
+            let j = rng.gen_range(i..menu.len());
+            chosen.swap(i, j);
+        }
+        chosen.truncate(count);
+        chosen.sort_unstable();
+        FaultPlan {
+            seed,
+            faults: chosen.into_iter().map(|i| menu[i]).collect(),
+        }
+    }
+}
+
+/// Remove clock skew and offset from a trace's arrivals by fitting the
+/// lower linear envelope of the one-way delays (`dcl-clocksync`) — the
+/// measurement-side antidote to [`Fault::ClockDrift`]. Delivered probes
+/// get their arrival re-stamped to `sent + corrected delay` (shifted so
+/// the minimum corrected delay is non-negative); lost probes pass
+/// through. Traces with fewer than two deliveries come back unchanged.
+pub fn deskew(trace: &ProbeTrace) -> ProbeTrace {
+    let points: Vec<(f64, f64)> = trace
+        .records
+        .iter()
+        .filter_map(|r| {
+            let a = r.arrival?;
+            // Signed delay in seconds: drift can push arrivals before
+            // sends, and the fit must see that.
+            let d = a.as_nanos() as f64 / 1e9 - r.stamp.sent_at.as_nanos() as f64 / 1e9;
+            Some((r.stamp.sent_at.as_secs(), d))
+        })
+        .collect();
+    if points.len() < 2 {
+        return trace.clone();
+    }
+    let corrected = dcl_clocksync::remove_skew(&points);
+    let floor = corrected.iter().copied().fold(f64::INFINITY, f64::min);
+    let shift = if floor < 0.0 { -floor } else { 0.0 };
+    let mut out = trace.clone();
+    let mut it = corrected.into_iter();
+    for r in out.records.iter_mut() {
+        if r.arrival.is_some() {
+            let d = it.next().expect("one corrected delay per delivery") + shift;
+            r.arrival = Some(r.stamp.sent_at + Dur::from_secs(d.max(0.0)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcl_netsim::packet::ProbeStamp;
+
+    fn clean_trace(n: usize) -> ProbeTrace {
+        let interval = Dur::from_millis(20.0);
+        ProbeTrace::from_owd_series(
+            interval,
+            Dur::from_millis(15.0),
+            (0..n).map(|i| Some(Dur::from_millis(25.0 + (i % 50) as f64))),
+        )
+    }
+
+    #[test]
+    fn identity_plan_is_bitwise_identity() {
+        let t = clean_trace(500);
+        let (out, report) = FaultPlan::identity(7).apply(&t);
+        assert!(report.outcomes.is_empty());
+        assert_eq!(out.len(), t.len());
+        for (a, b) in out.records.iter().zip(&t.records) {
+            assert_eq!(a.stamp.seq, b.stamp.seq);
+            assert_eq!(a.arrival, b.arrival);
+        }
+    }
+
+    #[test]
+    fn plans_replay_deterministically() {
+        let t = clean_trace(800);
+        let plan = FaultPlan::sampled(42, 0.8, 7);
+        let (a, ra) = plan.apply(&t);
+        let (b, rb) = plan.apply(&t);
+        assert_eq!(ra, rb);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.stamp.seq, y.stamp.seq);
+            assert_eq!(x.arrival, y.arrival);
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_injects_unknown_hop_losses() {
+        let t = clean_trace(2000);
+        let plan = FaultPlan {
+            seed: 3,
+            faults: vec![Fault::GilbertElliott {
+                p_enter: 0.1,
+                p_exit: 0.2,
+                loss_good: 0.01,
+                loss_bad: 0.8,
+            }],
+        };
+        let (out, report) = plan.apply(&t);
+        assert!(report.total_affected() > 0);
+        assert_eq!(out.loss_count() as u64, report.total_affected());
+        for r in out.records.iter().filter(|r| !r.delivered()) {
+            assert!(r.stamp.lost());
+            assert_eq!(r.stamp.known_loss_hop(), None);
+        }
+    }
+
+    #[test]
+    fn reorder_scrambles_log_order_only() {
+        let t = clean_trace(300);
+        let plan = FaultPlan {
+            seed: 5,
+            faults: vec![Fault::Reorder {
+                rate: 0.5,
+                max_displacement: 5,
+            }],
+        };
+        let (out, report) = plan.apply(&t);
+        assert!(report.total_affected() > 0);
+        assert_eq!(out.len(), t.len());
+        // Same multiset of sequence numbers, different order.
+        let mut seqs: Vec<u64> = out.records.iter().map(|r| r.stamp.seq).collect();
+        assert_ne!(seqs, (0..300u64).collect::<Vec<_>>());
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..300u64).collect::<Vec<_>>());
+        // Sanitisation undoes it.
+        let (clean, san) = out.sanitized();
+        assert!(san.out_of_order > 0);
+        let seqs: Vec<u64> = clean.records.iter().map(|r| r.stamp.seq).collect();
+        assert_eq!(seqs, (0..300u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_and_truncate_change_length() {
+        let t = clean_trace(200);
+        let (dup, rep) = FaultPlan {
+            seed: 9,
+            faults: vec![Fault::Duplicate { rate: 0.3 }],
+        }
+        .apply(&t);
+        assert_eq!(dup.len() as u64, 200 + rep.total_affected());
+        let (cut, rep) = FaultPlan {
+            seed: 9,
+            faults: vec![Fault::Truncate { keep_fraction: 0.25 }],
+        }
+        .apply(&t);
+        assert_eq!(cut.len(), 50);
+        assert_eq!(rep.total_affected(), 150);
+    }
+
+    #[test]
+    fn corrupt_records_are_detectable() {
+        let t = clean_trace(400);
+        let (bad, rep) = FaultPlan {
+            seed: 11,
+            faults: vec![Fault::Corrupt { rate: 0.2 }],
+        }
+        .apply(&t);
+        assert!(rep.total_affected() > 0);
+        let (_, san) = bad.sanitized();
+        assert_eq!(san.corrupt as u64, rep.total_affected());
+    }
+
+    #[test]
+    fn clock_drift_roundtrips_through_deskew() {
+        // A linear drift is exactly what the clocksync envelope fit
+        // removes: after deskew the delay *spread* is restored even
+        // though the absolute offset is not recoverable.
+        let t = clean_trace(500);
+        let plan = FaultPlan {
+            seed: 13,
+            faults: vec![Fault::ClockDrift {
+                offset_ms: -30.0,
+                skew_ppm: 500.0,
+            }],
+        };
+        let (skewed, _) = plan.apply(&t);
+        let fixed = deskew(&skewed);
+        let spread = |tr: &ProbeTrace| {
+            let owds: Vec<f64> = tr
+                .records
+                .iter()
+                .filter_map(|r| r.owd())
+                .map(|d| d.as_secs())
+                .collect();
+            owds.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                - owds.iter().copied().fold(f64::INFINITY, f64::min)
+        };
+        let clean_spread = spread(&t);
+        let fixed_spread = spread(&fixed);
+        assert!(
+            (fixed_spread - clean_spread).abs() < 2e-3,
+            "spread {clean_spread} vs {fixed_spread}"
+        );
+    }
+
+    #[test]
+    fn delay_spikes_only_increase_delay() {
+        let t = clean_trace(500);
+        let (out, rep) = FaultPlan {
+            seed: 17,
+            faults: vec![Fault::DelaySpikes {
+                rate: 0.3,
+                scale_ms: 40.0,
+                alpha: 1.2,
+            }],
+        }
+        .apply(&t);
+        assert!(rep.total_affected() > 0);
+        for (a, b) in out.records.iter().zip(&t.records) {
+            match (a.owd(), b.owd()) {
+                (Some(x), Some(y)) => assert!(x >= y),
+                (None, None) => {}
+                other => panic!("delivery changed: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_plans_cover_the_menu() {
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..64 {
+            for f in &FaultPlan::sampled(seed, 1.0, 7).faults {
+                kinds.insert(f.name());
+            }
+        }
+        assert!(kinds.len() >= 6, "only sampled {kinds:?}");
+    }
+
+    #[test]
+    fn corrupt_handles_time_zero_sends() {
+        let mut t = clean_trace(1);
+        t.records[0].stamp = ProbeStamp::new(0, None, Time::ZERO);
+        t.records[0].arrival = Some(Time::from_millis(30.0));
+        let (bad, rep) = FaultPlan {
+            seed: 1,
+            faults: vec![Fault::Corrupt { rate: 1.0 }],
+        }
+        .apply(&t);
+        assert_eq!(rep.total_affected(), 1);
+        let r = &bad.records[0];
+        assert!(r.arrival.unwrap() < r.stamp.sent_at);
+    }
+}

@@ -12,7 +12,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::model::Hmm;
-use dcl_probnum::obs::{validate_sequence, Obs};
+use dcl_probnum::obs::{validate_sequence, FitError, Obs};
 use dcl_probnum::{ForwardBackward, Matrix};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -48,6 +48,15 @@ pub struct EmOptions {
     /// derives its own RNG from `seed + restart_index` and the best
     /// likelihood is reduced in restart order.
     pub parallelism: Option<usize>,
+    /// Guarded-retry budget per restart. When a restart trips a numerical
+    /// guard (non-finite likelihood, likelihood decrease beyond numerical
+    /// noise, non-finite parameters) it is retried up to this many times
+    /// with a deterministically escalated seed — attempt `k` of restart
+    /// `r` seeds its RNG from `seed + restarts + k` (then the per-restart
+    /// stride), a pure function of `(r, k)`, so the fit stays bitwise
+    /// identical at every thread count. Attempt 0 is the historical seed
+    /// derivation, so untripped fits are unchanged bit-for-bit.
+    pub guard_retries: usize,
 }
 
 impl Default for EmOptions {
@@ -61,6 +70,7 @@ impl Default for EmOptions {
             restarts: 1,
             restrict_loss_to_observed: true,
             parallelism: None,
+            guard_retries: 2,
         }
     }
 }
@@ -76,6 +86,9 @@ pub struct FitResult {
     pub iterations: usize,
     /// Did the winning restart converge before `max_iters`?
     pub converged: bool,
+    /// Numerical-guard trips across all restarts and retries (0 on a
+    /// clean fit).
+    pub guard_trips: usize,
 }
 
 /// Reusable per-restart scratch buffers for [`em_step_with`].
@@ -241,81 +254,170 @@ pub fn em_step_with(model: &Hmm, obs: &[Obs], scratch: &mut EmScratch) -> (Hmm, 
     )
 }
 
-/// Fit an HMM to `obs` by EM with random restarts.
+/// Relative tolerance for the likelihood-decrease guard: EM can never
+/// decrease the likelihood in exact arithmetic, so a drop beyond this
+/// (scaled) slack signals numerical divergence, not rounding noise. The
+/// slack is wide enough that no healthy fit trips it — tripping re-seeds
+/// the restart, which would otherwise perturb bitwise reproducibility.
+const LL_DECREASE_SLACK: f64 = 1e-8;
+
+/// One guarded EM attempt from a specific RNG seed. `Err(reason)` when a
+/// numerical guard trips: non-finite likelihood, a likelihood decrease
+/// beyond numerical noise, or non-finite parameters (a non-finite
+/// parameter delta).
+fn em_attempt(obs: &[Obs], opts: &EmOptions, r: usize, rng_seed: u64) -> Result<FitResult, &'static str> {
+    let mut rng = SmallRng::seed_from_u64(rng_seed);
+    let mut model = Hmm::random(opts.num_states, opts.num_symbols, &mut rng);
+    if opts.restrict_loss_to_observed {
+        apply_loss_restriction(&mut model.c, obs);
+    }
+    let mut scratch = EmScratch::new();
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut last_ll = f64::NEG_INFINITY;
+    for it in 0..opts.max_iters {
+        let (next, ll) = em_step_with(&model, obs, &mut scratch);
+        if !ll.is_finite() {
+            return Err("non-finite-likelihood");
+        }
+        if ll < last_ll - LL_DECREASE_SLACK * (1.0 + last_ll.abs()) {
+            return Err("likelihood-decrease");
+        }
+        last_ll = ll;
+        iterations = it + 1;
+        let delta = next.max_param_diff(&model);
+        if !delta.is_finite() {
+            return Err("non-finite-params");
+        }
+        model = next;
+        dcl_obs::record_with(|| dcl_obs::Event::EmIteration {
+            model: "hmm".to_string(),
+            restart: r,
+            iteration: it + 1,
+            log_likelihood: ll,
+            max_param_delta: delta,
+        });
+        if delta < opts.tol {
+            converged = true;
+            break;
+        }
+    }
+    // Likelihood of the final model (one more forward pass). `f64::max`
+    // ignores a NaN operand, so a non-finite final pass falls back to the
+    // last in-loop likelihood; only both being non-finite trips the guard.
+    let final_ll = model.log_likelihood(obs).max(last_ll);
+    if !final_ll.is_finite() {
+        return Err("degenerate-posterior");
+    }
+    dcl_obs::record_with(|| dcl_obs::Event::EmRestart {
+        model: "hmm".to_string(),
+        restart: r,
+        iterations,
+        converged,
+        reason: if converged { "tol" } else { "max-iters" }.to_string(),
+        log_likelihood: final_ll,
+    });
+    Ok(FitResult {
+        model,
+        log_likelihood: final_ll,
+        iterations,
+        converged,
+        guard_trips: 0,
+    })
+}
+
+/// One restart with guarded retries: attempt 0 uses the historical seed
+/// derivation (`seed + r * 0x9E37`); attempt `k > 0` escalates the base
+/// seed to `seed + restarts + k` before the same stride, a pure function
+/// of `(r, k)` so parallel determinism is preserved. Returns the first
+/// attempt that survives the guards (with its trip count) or `None` when
+/// the retry budget is exhausted.
+fn guarded_restart(obs: &[Obs], opts: &EmOptions, r: usize) -> (Option<FitResult>, usize) {
+    let mut trips = 0usize;
+    loop {
+        let base = if trips == 0 {
+            opts.seed
+        } else {
+            opts.seed
+                .wrapping_add(opts.restarts as u64)
+                .wrapping_add(trips as u64)
+        };
+        match em_attempt(obs, opts, r, base.wrapping_add(r as u64 * 0x9E37)) {
+            Ok(mut fit) => {
+                fit.guard_trips = trips;
+                return (Some(fit), trips);
+            }
+            Err(reason) => {
+                trips += 1;
+                dcl_obs::record_with(|| dcl_obs::Event::EmGuard {
+                    model: "hmm".to_string(),
+                    restart: r,
+                    attempt: trips,
+                    reason: reason.to_string(),
+                });
+                if trips > opts.guard_retries {
+                    return (None, trips);
+                }
+            }
+        }
+    }
+}
+
+/// Fit an HMM to `obs` by EM with random restarts, returning a typed
+/// [`FitError`] instead of panicking or propagating a numerically broken
+/// model.
 ///
 /// The restarts are independent — each derives its RNG from
 /// `seed + restart_index` — and run on [`EmOptions::parallelism`] worker
 /// threads. The winner is reduced in restart order with a strict
 /// best-likelihood comparison (ties keep the lowest restart index, NaN
 /// never wins), so the result is bitwise identical at every thread count.
-///
-/// Panics if the sequence is empty or contains symbols outside
-/// `1..=num_symbols`.
-pub fn fit(obs: &[Obs], opts: &EmOptions) -> FitResult {
-    assert!(!obs.is_empty(), "empty observation sequence");
-    validate_sequence(obs, opts.num_symbols).expect("invalid observation sequence");
+/// Restarts that trip a numerical guard are retried with a
+/// deterministically escalated seed (see [`EmOptions::guard_retries`]);
+/// only if *every* restart exhausts its budget does the fit fail.
+pub fn try_fit(obs: &[Obs], opts: &EmOptions) -> Result<FitResult, FitError> {
+    validate_sequence(obs, opts.num_symbols).map_err(FitError::InvalidSequence)?;
     assert!(opts.num_states > 0 && opts.restarts > 0);
 
     let candidates = dcl_parallel::par_map_indexed(opts.parallelism, opts.restarts, |r| {
-        // Pure function of (seed, restart index) — restarts never share a
-        // mutable RNG, so the parallel schedule cannot affect any draw. The
-        // 0x9E37 stride decorrelates nearby restart seeds and matches the
-        // historical serial derivation bit-for-bit.
+        // Pure function of (seed, restart index, trip count) — restarts
+        // never share a mutable RNG, so the parallel schedule cannot
+        // affect any draw. The 0x9E37 stride decorrelates nearby restart
+        // seeds and matches the historical serial derivation bit-for-bit.
         let _span = dcl_obs::span("hmm.em.restart");
-        let mut rng = SmallRng::seed_from_u64(opts.seed.wrapping_add(r as u64 * 0x9E37));
-        let mut model = Hmm::random(opts.num_states, opts.num_symbols, &mut rng);
-        if opts.restrict_loss_to_observed {
-            apply_loss_restriction(&mut model.c, obs);
-        }
-        let mut scratch = EmScratch::new();
-        let mut iterations = 0;
-        let mut converged = false;
-        let mut last_ll = f64::NEG_INFINITY;
-        for it in 0..opts.max_iters {
-            let (next, ll) = em_step_with(&model, obs, &mut scratch);
-            last_ll = ll;
-            iterations = it + 1;
-            let delta = next.max_param_diff(&model);
-            model = next;
-            dcl_obs::record_with(|| dcl_obs::Event::EmIteration {
-                model: "hmm".to_string(),
-                restart: r,
-                iteration: it + 1,
-                log_likelihood: ll,
-                max_param_delta: delta,
-            });
-            if delta < opts.tol {
-                converged = true;
-                break;
-            }
-        }
-        // Likelihood of the final model (one more forward pass).
-        let final_ll = model.log_likelihood(obs).max(last_ll);
-        dcl_obs::record_with(|| dcl_obs::Event::EmRestart {
-            model: "hmm".to_string(),
-            restart: r,
-            iterations,
-            converged,
-            reason: if converged { "tol" } else { "max-iters" }.to_string(),
-            log_likelihood: final_ll,
-        });
-        FitResult {
-            model,
-            log_likelihood: final_ll,
-            iterations,
-            converged,
-        }
+        guarded_restart(obs, opts, r)
     });
 
     let mut best: Option<FitResult> = None;
-    for candidate in candidates {
-        best = match best {
-            None => Some(candidate),
-            Some(b) if candidate.log_likelihood > b.log_likelihood => Some(candidate),
-            Some(b) => Some(b),
+    let mut guard_trips = 0usize;
+    for (candidate, trips) in candidates {
+        guard_trips += trips;
+        best = match (best, candidate) {
+            (None, c) => c,
+            (Some(b), Some(c)) if c.log_likelihood > b.log_likelihood => Some(c),
+            (b, _) => b,
         };
     }
-    best.expect("at least one restart ran")
+    match best {
+        Some(mut b) => {
+            b.guard_trips = guard_trips;
+            Ok(b)
+        }
+        None => Err(FitError::AllRestartsTripped {
+            restarts: opts.restarts,
+            guard_trips,
+        }),
+    }
+}
+
+/// Fit an HMM to `obs` by EM with random restarts.
+///
+/// Thin wrapper over [`try_fit`] preserving the historical contract:
+/// panics if the sequence is empty, contains symbols outside
+/// `1..=num_symbols`, or no restart survives the numerical guards. Prefer
+/// [`try_fit`] on untrusted measurement data.
+pub fn fit(obs: &[Obs], opts: &EmOptions) -> FitResult {
+    try_fit(obs, opts).unwrap_or_else(|e| panic!("hmm fit failed: {e}"))
 }
 
 
@@ -411,6 +513,7 @@ mod tests {
                 restarts: 1,
                 restrict_loss_to_observed: true,
                 parallelism: None,
+                guard_retries: 2,
             },
         );
         // Note: with one state the per-symbol loss split is identifiable

@@ -16,7 +16,7 @@
 mod em;
 mod model;
 
-pub use em::{em_step, em_step_with, fit, EmOptions, EmScratch, FitResult};
+pub use em::{em_step, em_step_with, fit, try_fit, EmOptions, EmScratch, FitResult};
 pub use model::Hmm;
 
 #[cfg(test)]
@@ -62,6 +62,7 @@ mod tests {
                 restarts: 2,
                 restrict_loss_to_observed: true,
                 parallelism: None,
+                guard_retries: 2,
             },
         );
         assert!(result.log_likelihood.is_finite());

@@ -123,6 +123,7 @@ proptest! {
             restarts: 2,
             restrict_loss_to_observed: true,
             parallelism: Some(1),
+            guard_retries: 2,
         };
         dcl_obs::set_enabled(false);
         let off = dcl_hmm::fit(&obs, &opts);

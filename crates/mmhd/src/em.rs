@@ -13,7 +13,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::model::Mmhd;
-use dcl_probnum::obs::{validate_sequence, Obs};
+use dcl_probnum::obs::{validate_sequence, FitError, Obs};
 use dcl_probnum::{ForwardBackward, Matrix};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -62,6 +62,15 @@ pub struct EmOptions {
     /// derives its own RNG from `seed + restart_index` and the best
     /// likelihood is reduced in restart order.
     pub parallelism: Option<usize>,
+    /// Guarded-retry budget per restart. When a restart trips a numerical
+    /// guard (non-finite likelihood, likelihood decrease beyond numerical
+    /// noise, non-finite parameters) it is retried up to this many times
+    /// with a deterministically escalated seed — attempt `k` of restart
+    /// `r` seeds its RNG from `seed + restarts + k` (then the per-restart
+    /// stride), a pure function of `(r, k)`, so the fit stays bitwise
+    /// identical at every thread count. Attempt 0 is the historical seed
+    /// derivation, so untripped fits are unchanged bit-for-bit.
+    pub guard_retries: usize,
 }
 
 impl Default for EmOptions {
@@ -77,6 +86,7 @@ impl Default for EmOptions {
             empirical_init: true,
             tied_loss: false,
             parallelism: None,
+            guard_retries: 2,
         }
     }
 }
@@ -92,6 +102,9 @@ pub struct FitResult {
     pub iterations: usize,
     /// Did the winning restart converge before the iteration cap?
     pub converged: bool,
+    /// Numerical-guard trips across all restarts and retries (0 on a
+    /// clean fit).
+    pub guard_trips: usize,
 }
 
 /// Reusable per-restart scratch buffers for [`em_step_with`].
@@ -253,82 +266,163 @@ pub fn em_step_with(model: &Mmhd, obs: &[Obs], scratch: &mut EmScratch) -> (Mmhd
     (next, log_likelihood)
 }
 
-/// Fit an MMHD to `obs` by EM with random restarts.
+/// Relative slack on the likelihood-decrease guard: EM guarantees a
+/// monotone likelihood, so a decrease beyond numerical noise marks a
+/// numerically broken trajectory.
+const LL_DECREASE_SLACK: f64 = 1e-8;
+
+/// One EM trajectory from a concrete RNG seed. Returns a clean fit or the
+/// name of the numerical guard that tripped.
+fn em_attempt(obs: &[Obs], opts: &EmOptions, r: usize, rng_seed: u64) -> Result<FitResult, &'static str> {
+    let mut rng = SmallRng::seed_from_u64(rng_seed);
+    let mut model = if opts.empirical_init {
+        Mmhd::empirical_init(obs, opts.num_hidden, opts.num_symbols, &mut rng)
+    } else {
+        Mmhd::random(opts.num_hidden, opts.num_symbols, &mut rng)
+    };
+    model.set_tied_loss(opts.tied_loss);
+    if opts.restrict_loss_to_observed {
+        apply_loss_restriction(&mut model.c, opts.num_symbols, obs);
+    }
+    let mut scratch = EmScratch::new();
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut last_ll = f64::NEG_INFINITY;
+    for it in 0..opts.max_iters {
+        let (next, ll) = em_step_with(&model, obs, &mut scratch);
+        iterations = it + 1;
+        if !ll.is_finite() {
+            return Err("non-finite-likelihood");
+        }
+        if ll < last_ll - LL_DECREASE_SLACK * (1.0 + last_ll.abs()) {
+            return Err("likelihood-decrease");
+        }
+        last_ll = ll;
+        let delta = next.max_param_diff(&model);
+        if !delta.is_finite() {
+            return Err("non-finite-params");
+        }
+        model = next;
+        dcl_obs::record_with(|| dcl_obs::Event::EmIteration {
+            model: "mmhd".to_string(),
+            restart: r,
+            iteration: it + 1,
+            log_likelihood: ll,
+            max_param_delta: delta,
+        });
+        if delta < opts.tol {
+            converged = true;
+            break;
+        }
+    }
+    let final_ll = model.log_likelihood(obs);
+    if !final_ll.is_finite() {
+        return Err("degenerate-posterior");
+    }
+    dcl_obs::record_with(|| dcl_obs::Event::EmRestart {
+        model: "mmhd".to_string(),
+        restart: r,
+        iterations,
+        converged,
+        reason: if converged { "tol" } else { "max-iters" }.to_string(),
+        log_likelihood: final_ll,
+    });
+    Ok(FitResult {
+        model,
+        log_likelihood: final_ll,
+        iterations,
+        converged,
+        guard_trips: 0,
+    })
+}
+
+/// Run restart `r` with guarded retries. Returns the surviving fit (if
+/// any) and the number of guard trips spent on this restart.
+fn guarded_restart(obs: &[Obs], opts: &EmOptions, r: usize) -> (Option<FitResult>, usize) {
+    let mut trips = 0usize;
+    loop {
+        // Attempt 0 reproduces the historical seed derivation exactly;
+        // retries escalate deterministically as a pure function of
+        // (seed, restarts, trip count) so the schedule cannot matter.
+        let base = if trips == 0 {
+            opts.seed
+        } else {
+            opts.seed
+                .wrapping_add(opts.restarts as u64)
+                .wrapping_add(trips as u64)
+        };
+        match em_attempt(obs, opts, r, base.wrapping_add(r as u64 * 0x9E37)) {
+            Ok(fit) => return (Some(fit), trips),
+            Err(reason) => {
+                trips += 1;
+                dcl_obs::record_with(|| dcl_obs::Event::EmGuard {
+                    model: "mmhd".to_string(),
+                    restart: r,
+                    attempt: trips,
+                    reason: reason.to_string(),
+                });
+                if trips > opts.guard_retries {
+                    return (None, trips);
+                }
+            }
+        }
+    }
+}
+
+/// Fit an MMHD to `obs` by EM with random restarts, returning a typed
+/// error instead of panicking on unusable input or numerical breakdown.
 ///
 /// The restarts are independent — each derives its RNG from
 /// `seed + restart_index` — and run on [`EmOptions::parallelism`] worker
 /// threads. The winner is reduced in restart order with a strict
 /// best-likelihood comparison (ties keep the lowest restart index, NaN
 /// never wins), so the result is bitwise identical at every thread count.
-///
-/// Panics if the sequence is empty or contains out-of-alphabet symbols.
-pub fn fit(obs: &[Obs], opts: &EmOptions) -> FitResult {
-    assert!(!obs.is_empty(), "empty observation sequence");
-    validate_sequence(obs, opts.num_symbols).expect("invalid observation sequence");
+/// Restarts that trip a numerical guard are retried with a
+/// deterministically escalated seed (see [`EmOptions::guard_retries`]);
+/// only if *every* restart exhausts its budget does the fit fail.
+pub fn try_fit(obs: &[Obs], opts: &EmOptions) -> Result<FitResult, FitError> {
+    validate_sequence(obs, opts.num_symbols).map_err(FitError::InvalidSequence)?;
     assert!(opts.num_hidden > 0 && opts.restarts > 0);
 
     let candidates = dcl_parallel::par_map_indexed(opts.parallelism, opts.restarts, |r| {
-        // Pure function of (seed, restart index) — restarts never share a
-        // mutable RNG, so the parallel schedule cannot affect any draw. The
-        // 0x9E37 stride decorrelates nearby restart seeds and matches the
-        // historical serial derivation bit-for-bit.
+        // Pure function of (seed, restart index, trip count) — restarts
+        // never share a mutable RNG, so the parallel schedule cannot
+        // affect any draw. The 0x9E37 stride decorrelates nearby restart
+        // seeds and matches the historical serial derivation bit-for-bit.
         let _span = dcl_obs::span("mmhd.em.restart");
-        let mut rng = SmallRng::seed_from_u64(opts.seed.wrapping_add(r as u64 * 0x9E37));
-        let mut model = if opts.empirical_init {
-            Mmhd::empirical_init(obs, opts.num_hidden, opts.num_symbols, &mut rng)
-        } else {
-            Mmhd::random(opts.num_hidden, opts.num_symbols, &mut rng)
-        };
-        model.set_tied_loss(opts.tied_loss);
-        if opts.restrict_loss_to_observed {
-            apply_loss_restriction(&mut model.c, opts.num_symbols, obs);
-        }
-        let mut scratch = EmScratch::new();
-        let mut iterations = 0;
-        let mut converged = false;
-        for it in 0..opts.max_iters {
-            let (next, ll) = em_step_with(&model, obs, &mut scratch);
-            iterations = it + 1;
-            let delta = next.max_param_diff(&model);
-            model = next;
-            dcl_obs::record_with(|| dcl_obs::Event::EmIteration {
-                model: "mmhd".to_string(),
-                restart: r,
-                iteration: it + 1,
-                log_likelihood: ll,
-                max_param_delta: delta,
-            });
-            if delta < opts.tol {
-                converged = true;
-                break;
-            }
-        }
-        let final_ll = model.log_likelihood(obs);
-        dcl_obs::record_with(|| dcl_obs::Event::EmRestart {
-            model: "mmhd".to_string(),
-            restart: r,
-            iterations,
-            converged,
-            reason: if converged { "tol" } else { "max-iters" }.to_string(),
-            log_likelihood: final_ll,
-        });
-        FitResult {
-            model,
-            log_likelihood: final_ll,
-            iterations,
-            converged,
-        }
+        guarded_restart(obs, opts, r)
     });
 
     let mut best: Option<FitResult> = None;
-    for candidate in candidates {
-        best = match best {
-            None => Some(candidate),
-            Some(b) if candidate.log_likelihood > b.log_likelihood => Some(candidate),
-            Some(b) => Some(b),
+    let mut guard_trips = 0usize;
+    for (candidate, trips) in candidates {
+        guard_trips += trips;
+        best = match (best, candidate) {
+            (None, c) => c,
+            (Some(b), Some(c)) if c.log_likelihood > b.log_likelihood => Some(c),
+            (b, _) => b,
         };
     }
-    best.expect("at least one restart ran")
+    match best {
+        Some(mut b) => {
+            b.guard_trips = guard_trips;
+            Ok(b)
+        }
+        None => Err(FitError::AllRestartsTripped {
+            restarts: opts.restarts,
+            guard_trips,
+        }),
+    }
+}
+
+/// Fit an MMHD to `obs` by EM with random restarts.
+///
+/// Thin wrapper over [`try_fit`] preserving the historical contract:
+/// panics if the sequence is empty, contains symbols outside
+/// `1..=num_symbols`, or no restart survives the numerical guards. Prefer
+/// [`try_fit`] on untrusted measurement data.
+pub fn fit(obs: &[Obs], opts: &EmOptions) -> FitResult {
+    try_fit(obs, opts).unwrap_or_else(|e| panic!("mmhd fit failed: {e}"))
 }
 
 

@@ -22,7 +22,7 @@
 mod em;
 mod model;
 
-pub use em::{em_step, em_step_with, fit, fit_select, EmOptions, EmScratch, FitResult, SelectionResult};
+pub use em::{em_step, em_step_with, fit, fit_select, try_fit, EmOptions, EmScratch, FitResult, SelectionResult};
 pub use model::Mmhd;
 
 #[cfg(test)]
@@ -68,6 +68,7 @@ mod tests {
                 empirical_init: true,
                 tied_loss: false,
                 parallelism: None,
+                guard_retries: 2,
             },
         );
         let inferred = fit.model.loss_delay_pmf(&obs).expect("losses present");
@@ -110,6 +111,7 @@ mod tests {
                 empirical_init: true,
                 tied_loss: true,
                 parallelism: None,
+                guard_retries: 2,
             },
         );
         let inferred = fit.model.loss_delay_pmf(&obs).expect("losses present");
@@ -163,6 +165,7 @@ mod tests {
                 empirical_init: true,
                 tied_loss: false,
                 parallelism: None,
+                guard_retries: 2,
             },
         );
         // Empirical bigram estimate of P(1 -> 1).

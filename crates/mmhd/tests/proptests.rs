@@ -137,6 +137,7 @@ proptest! {
             empirical_init: false,
             tied_loss: false,
             parallelism: Some(1),
+            guard_retries: 2,
         };
         dcl_obs::set_enabled(false);
         let off = dcl_mmhd::fit(&obs, &opts);

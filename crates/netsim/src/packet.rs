@@ -60,6 +60,13 @@ impl Packet {
     }
 }
 
+/// Loss-hop value recorded when a probe is known lost but the dropping hop
+/// is unknown — the case for traces imported from external measurements
+/// ([`crate::trace::ProbeTrace::from_owd_series`]), where loss is observed
+/// end-to-end without per-hop ground truth. Compare through
+/// [`ProbeStamp::known_loss_hop`] rather than against this value directly.
+pub const LOSS_HOP_UNKNOWN: usize = usize::MAX;
+
 /// Ground-truth measurement record carried by a probe packet.
 ///
 /// The simulator fills in the per-link waiting (queuing) delays as the probe
@@ -97,6 +104,16 @@ impl ProbeStamp {
     /// Was the (real) probe lost?
     pub fn lost(&self) -> bool {
         self.loss_hop.is_some()
+    }
+
+    /// The hop the probe was dropped at, when that hop is actually known.
+    /// `None` both for delivered probes and for losses whose hop is the
+    /// [`LOSS_HOP_UNKNOWN`] sentinel (imported traces).
+    pub fn known_loss_hop(&self) -> Option<usize> {
+        match self.loss_hop {
+            Some(h) if h != LOSS_HOP_UNKNOWN => Some(h),
+            _ => None,
+        }
     }
 
     /// End-end *virtual queuing delay*: the sum of per-link waiting delays,

@@ -30,9 +30,12 @@ pub struct ProbeRecord {
 }
 
 impl ProbeRecord {
-    /// One-way delay, when delivered.
+    /// One-way delay, when delivered. Saturates to zero if the recorded
+    /// arrival precedes the send time — possible on imported traces whose
+    /// clocks disagree (skew, drift); the simulator itself never produces
+    /// such records.
     pub fn owd(&self) -> Option<Dur> {
-        self.arrival.map(|a| a.since(self.stamp.sent_at))
+        self.arrival.map(|a| a.saturating_since(self.stamp.sent_at))
     }
 
     /// Was the probe delivered?

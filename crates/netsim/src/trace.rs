@@ -10,6 +10,33 @@ use crate::sim::{ProbeRecord, Simulator};
 use crate::time::{Dur, Time};
 use serde::{Deserialize, Serialize};
 
+/// Counts of the repairs [`ProbeTrace::sanitized`] applied. All zero on a
+/// well-formed trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSanitation {
+    /// Records found out of sequence order (and re-sorted).
+    pub out_of_order: usize,
+    /// Duplicate sequence numbers dropped (the first occurrence in sorted
+    /// order is kept).
+    pub duplicates: usize,
+    /// Corrupt records dropped: a delivered probe whose recorded arrival
+    /// precedes its send time by more than can be explained as clock noise
+    /// is inconsistent, not measurement.
+    pub corrupt: usize,
+}
+
+impl TraceSanitation {
+    /// Did sanitisation leave the trace untouched?
+    pub fn is_clean(&self) -> bool {
+        self.out_of_order == 0 && self.duplicates == 0 && self.corrupt == 0
+    }
+
+    /// Records removed from the trace (duplicates plus corrupt).
+    pub fn dropped(&self) -> usize {
+        self.duplicates + self.corrupt
+    }
+}
+
 /// A probe trace in sending order.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ProbeTrace {
@@ -42,8 +69,7 @@ impl ProbeTrace {
                 let sent = Time::ZERO + interval * i as u64;
                 let mut stamp = crate::packet::ProbeStamp::new(i as u64, None, sent);
                 if owd.is_none() {
-                    // Loss at an unknown hop.
-                    stamp.loss_hop = Some(usize::MAX);
+                    stamp.loss_hop = Some(crate::packet::LOSS_HOP_UNKNOWN);
                 }
                 ProbeRecord {
                     stamp,
@@ -67,6 +93,47 @@ impl ProbeTrace {
             base_delay,
             interval,
         }
+    }
+
+    /// Repair a possibly malformed trace: drop corrupt records (arrival
+    /// before sending), restore sequence order, and drop duplicate
+    /// sequence numbers. Returns the repaired trace and the counts of what
+    /// was fixed, so callers can surface the repairs as warnings. A
+    /// well-formed trace comes back bitwise identical with a clean
+    /// [`TraceSanitation`].
+    pub fn sanitized(&self) -> (ProbeTrace, TraceSanitation) {
+        let mut san = TraceSanitation::default();
+        let mut records: Vec<ProbeRecord> = Vec::with_capacity(self.records.len());
+        for r in &self.records {
+            if matches!(r.arrival, Some(a) if a < r.stamp.sent_at) {
+                san.corrupt += 1;
+            } else {
+                records.push(r.clone());
+            }
+        }
+        let mut max_seq: Option<u64> = None;
+        for r in &records {
+            match max_seq {
+                Some(m) if r.stamp.seq < m => san.out_of_order += 1,
+                _ => max_seq = Some(r.stamp.seq),
+            }
+        }
+        if san.out_of_order > 0 {
+            // Stable, so equal sequence numbers keep their relative order
+            // and the later duplicate pass keeps the earliest record.
+            records.sort_by_key(|r| r.stamp.seq);
+        }
+        let before = records.len();
+        records.dedup_by_key(|r| r.stamp.seq);
+        san.duplicates = before - records.len();
+        (
+            ProbeTrace {
+                records,
+                base_delay: self.base_delay,
+                interval: self.interval,
+            },
+            san,
+        )
     }
 
     /// Number of probes.
@@ -171,7 +238,7 @@ impl ProbeTrace {
         self.records
             .iter()
             .filter_map(|r| {
-                let hop = r.stamp.loss_hop?;
+                let hop = r.stamp.known_loss_hop()?;
                 let drain = r.stamp.link_waits.get(hop).copied()?;
                 Some((hop, drain))
             })
@@ -184,9 +251,13 @@ impl ProbeTrace {
         let mut counts = vec![0usize; num_hops];
         let mut total = 0usize;
         for r in &self.records {
-            if let Some(h) = r.stamp.loss_hop {
-                if h < num_hops {
-                    counts[h] += 1;
+            if r.stamp.lost() {
+                // Losses at an unknown hop count toward the total but
+                // cannot be attributed to any hop.
+                if let Some(h) = r.stamp.known_loss_hop() {
+                    if h < num_hops {
+                        counts[h] += 1;
+                    }
                 }
                 total += 1;
             }
@@ -303,6 +374,53 @@ mod tests {
             t.ground_truth_virtual_delays(),
             vec![Dur::ZERO]
         );
+    }
+
+    #[test]
+    fn sanitized_is_identity_on_clean_traces() {
+        let t = trace();
+        let (clean, san) = t.sanitized();
+        assert!(san.is_clean());
+        assert_eq!(san.dropped(), 0);
+        assert_eq!(clean.len(), t.len());
+        for (a, b) in clean.records.iter().zip(&t.records) {
+            assert_eq!(a.stamp.seq, b.stamp.seq);
+            assert_eq!(a.arrival, b.arrival);
+        }
+    }
+
+    #[test]
+    fn sanitized_repairs_reorder_duplicates_and_corruption() {
+        let mut t = trace();
+        // Swap two records out of order, duplicate one, and corrupt one
+        // (arrival before sending).
+        t.records.swap(0, 2);
+        t.records.push(t.records[1].clone());
+        let mut bad = rec(9, 1.0, Some(10.0), 0.0, None);
+        bad.arrival = Some(Time::from_secs(0.5));
+        t.records.push(bad);
+        let (clean, san) = t.sanitized();
+        assert_eq!(san.corrupt, 1);
+        assert_eq!(san.duplicates, 1);
+        assert!(san.out_of_order > 0);
+        assert!(!san.is_clean());
+        let seqs: Vec<u64> = clean.records.iter().map(|r| r.stamp.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unknown_loss_hop_is_not_attributed() {
+        let t = ProbeTrace::from_owd_series(
+            Dur::from_millis(20.0),
+            Dur::from_millis(15.0),
+            vec![Some(Dur::from_millis(25.0)), None],
+        );
+        assert!(t.records[1].stamp.lost());
+        assert_eq!(t.records[1].stamp.known_loss_hop(), None);
+        assert!(t.loss_drains().is_empty());
+        // The unknown-hop loss still counts toward the total, so no hop
+        // reaches a positive share.
+        assert_eq!(t.loss_share_by_hop(2), vec![0.0, 0.0]);
     }
 
     #[test]

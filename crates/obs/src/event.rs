@@ -59,6 +59,36 @@ pub enum Event {
         log_likelihood: f64,
     },
 
+    /// A restart tripped a numerical guard and is being retried with a
+    /// deterministically escalated seed. Kind tag: `em-guard`.
+    EmGuard {
+        /// Which fitter ("hmm" or "mmhd").
+        model: String,
+        /// Restart index within the fit.
+        restart: usize,
+        /// Guard trips on this restart so far (1-based: the first trip
+        /// reports `attempt: 1`).
+        attempt: usize,
+        /// Which guard tripped ("non-finite-likelihood",
+        /// "likelihood-decrease", "non-finite-params",
+        /// "degenerate-posterior").
+        reason: String,
+    },
+
+    /// One fault model was applied to a probe trace. Kind tag:
+    /// `fault-injection`.
+    FaultInjection {
+        /// Fault model name ("gilbert-elliott", "reorder", "duplicate",
+        /// "clock-drift", "delay-spikes", "truncate", "corrupt").
+        fault: String,
+        /// The per-fault RNG seed (derived from the plan seed and the
+        /// fault's position in the stack).
+        seed: u64,
+        /// Records the fault touched (lost, displaced, duplicated,
+        /// re-stamped, spiked, dropped, or corrupted).
+        affected: u64,
+    },
+
     /// End-of-run counters and histograms of one simulated link. Kind
     /// tag: `queue-stats`.
     QueueStats {
@@ -139,6 +169,8 @@ impl Event {
         match self {
             Event::EmIteration { .. } => "em-iteration",
             Event::EmRestart { .. } => "em-restart",
+            Event::EmGuard { .. } => "em-guard",
+            Event::FaultInjection { .. } => "fault-injection",
             Event::QueueStats { .. } => "queue-stats",
             Event::TestDecision { .. } => "test-decision",
             Event::Identification { .. } => "identification",
@@ -178,7 +210,11 @@ impl Event {
                 ..
             } => f_at_2d_star.is_finite() && threshold.is_finite(),
             Event::Identification { loss_rate, .. } => loss_rate.is_finite(),
-            Event::QueueStats { .. } | Event::SpanTiming { .. } | Event::Counter { .. } => true,
+            Event::EmGuard { .. }
+            | Event::FaultInjection { .. }
+            | Event::QueueStats { .. }
+            | Event::SpanTiming { .. }
+            | Event::Counter { .. } => true,
         }
     }
 }
@@ -215,6 +251,28 @@ impl Serialize for Event {
                 "converged": *converged,
                 "reason": reason.clone(),
                 "log_likelihood": *log_likelihood,
+            }),
+            Event::EmGuard {
+                model,
+                restart,
+                attempt,
+                reason,
+            } => json!({
+                "kind": "em-guard",
+                "model": model.clone(),
+                "restart": *restart,
+                "attempt": *attempt,
+                "reason": reason.clone(),
+            }),
+            Event::FaultInjection {
+                fault,
+                seed,
+                affected,
+            } => json!({
+                "kind": "fault-injection",
+                "fault": fault.clone(),
+                "seed": *seed,
+                "affected": *affected,
             }),
             Event::QueueStats {
                 link,
@@ -334,6 +392,17 @@ impl Deserialize for Event {
                 reason: s("reason")?,
                 log_likelihood: f("log_likelihood")?,
             }),
+            "em-guard" => Ok(Event::EmGuard {
+                model: s("model")?,
+                restart: u("restart")? as usize,
+                attempt: u("attempt")? as usize,
+                reason: s("reason")?,
+            }),
+            "fault-injection" => Ok(Event::FaultInjection {
+                fault: s("fault")?,
+                seed: u("seed")?,
+                affected: u("affected")?,
+            }),
             "queue-stats" => Ok(Event::QueueStats {
                 link: s("link")?,
                 arrivals: u("arrivals")?,
@@ -396,6 +465,17 @@ mod tests {
                 converged: true,
                 reason: "tol".into(),
                 log_likelihood: -10.25,
+            },
+            Event::EmGuard {
+                model: "hmm".into(),
+                restart: 3,
+                attempt: 1,
+                reason: "likelihood-decrease".into(),
+            },
+            Event::FaultInjection {
+                fault: "gilbert-elliott".into(),
+                seed: 0xFA17,
+                affected: 42,
             },
             Event::QueueStats {
                 link: "hop1".into(),

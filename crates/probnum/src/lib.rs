@@ -35,4 +35,4 @@ pub mod stochastic;
 pub use dist::{Cdf, Pmf};
 pub use fb::ForwardBackward;
 pub use matrix::Matrix;
-pub use obs::Obs;
+pub use obs::{FitError, Obs, ObsError};

@@ -5,6 +5,7 @@
 //! missing value* (§V).
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// One probe observation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -30,22 +31,103 @@ impl Obs {
     }
 }
 
+/// Why an observation sequence is unusable as model input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObsError {
+    /// The sequence contains no observations at all.
+    Empty,
+    /// An observed symbol lies outside the alphabet `1..=alphabet`.
+    SymbolOutOfRange {
+        /// Index of the first offending observation.
+        index: usize,
+        /// The offending symbol.
+        symbol: u16,
+        /// The alphabet size `M` it was validated against.
+        alphabet: usize,
+    },
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsError::Empty => write!(f, "observation sequence is empty"),
+            ObsError::SymbolOutOfRange {
+                index,
+                symbol,
+                alphabet,
+            } => write!(
+                f,
+                "observation {index} has symbol {symbol} outside 1..={alphabet}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ObsError {}
+
+/// Why an EM fit could not produce a trustworthy model. Shared by the
+/// HMM and MMHD fitters so downstream consumers (`dcl-core`'s estimators
+/// and `identify`) handle both uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FitError {
+    /// The observation sequence was rejected before EM started.
+    InvalidSequence(ObsError),
+    /// Every restart (including its guarded retries) tripped a numerical
+    /// guard — non-finite likelihood, likelihood decrease, or degenerate
+    /// parameters — so no fit can be trusted.
+    AllRestartsTripped {
+        /// Restarts attempted.
+        restarts: usize,
+        /// Total guard trips across all restarts and retries.
+        guard_trips: usize,
+    },
+    /// The fitted model's loss-delay posterior is degenerate (non-finite
+    /// or empty mass), so no distribution can be reported.
+    DegeneratePosterior,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::InvalidSequence(e) => write!(f, "invalid observation sequence: {e}"),
+            FitError::AllRestartsTripped {
+                restarts,
+                guard_trips,
+            } => write!(
+                f,
+                "all {restarts} EM restarts tripped numerical guards ({guard_trips} trips)"
+            ),
+            FitError::DegeneratePosterior => {
+                write!(f, "fitted model has a degenerate loss-delay posterior")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
 /// Validate an observation sequence against an alphabet of `m` symbols:
 /// every observed symbol must lie in `1..=m`. Returns the number of losses.
 ///
 /// # Errors
 ///
-/// Returns a description of the first offending element.
-pub fn validate_sequence(obs: &[Obs], m: usize) -> Result<usize, String> {
+/// Returns a typed [`ObsError`] identifying the first offending element
+/// (or [`ObsError::Empty`] for an empty sequence).
+pub fn validate_sequence(obs: &[Obs], m: usize) -> Result<usize, ObsError> {
+    if obs.is_empty() {
+        return Err(ObsError::Empty);
+    }
     let mut losses = 0;
     for (i, &o) in obs.iter().enumerate() {
         match o {
             Obs::Loss => losses += 1,
             Obs::Sym(s) => {
                 if s == 0 || s as usize > m {
-                    return Err(format!(
-                        "observation {i} has symbol {s} outside 1..={m}"
-                    ));
+                    return Err(ObsError::SymbolOutOfRange {
+                        index: i,
+                        symbol: s,
+                        alphabet: m,
+                    });
                 }
             }
         }

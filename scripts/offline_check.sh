@@ -62,6 +62,7 @@ E_HMM="--extern dcl_hmm=$OUT/libdcl_hmm.rlib"
 E_MMHD="--extern dcl_mmhd=$OUT/libdcl_mmhd.rlib"
 E_LOSSPAIR="--extern dcl_losspair=$OUT/libdcl_losspair.rlib"
 E_CLOCKSYNC="--extern dcl_clocksync=$OUT/libdcl_clocksync.rlib"
+E_FAULTS="--extern dcl_faults=$OUT/libdcl_faults.rlib"
 E_INET="--extern dcl_inet=$OUT/libdcl_inet.rlib"
 E_CORE="--extern dcl_core=$OUT/libdcl_core.rlib"
 E_BENCH="--extern dcl_bench=$OUT/libdcl_bench.rlib"
@@ -77,10 +78,11 @@ build_libs() {
   lib dcl_mmhd crates/mmhd/src/lib.rs $E_PROBNUM $E_PARALLEL $E_OBS $E_RAND $E_SERDE
   lib dcl_losspair crates/losspair/src/lib.rs $E_PROBNUM $E_NETSIM $E_SERDE
   lib dcl_clocksync crates/clocksync/src/lib.rs $E_SERDE
+  lib dcl_faults crates/faults/src/lib.rs $E_NETSIM $E_OBS $E_CLOCKSYNC $E_RAND $E_SERDE
   lib dcl_inet crates/inet/src/lib.rs $E_PROBNUM $E_NETSIM $E_CLOCKSYNC $E_RAND $E_DISTR $E_SERDE
   lib dcl_core crates/core/src/lib.rs $E_PROBNUM $E_PARALLEL $E_OBS $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_RAND $E_SERDE
   lib dcl_bench crates/bench/src/lib.rs $E_PROBNUM $E_PARALLEL $E_OBS $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_CLOCKSYNC $E_INET $E_CORE $E_RAND $E_SERDE $E_JSON
-  lib dominant_congested_links src/lib.rs $E_PROBNUM $E_PARALLEL $E_OBS $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_CLOCKSYNC $E_INET $E_CORE $E_RAND $E_JSON
+  lib dominant_congested_links src/lib.rs $E_PROBNUM $E_PARALLEL $E_OBS $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_CLOCKSYNC $E_FAULTS $E_INET $E_CORE $E_RAND $E_JSON
 }
 
 build_tests() {
@@ -94,6 +96,7 @@ build_tests() {
   tbin ut_mmhd crates/mmhd/src/lib.rs $E_PROBNUM $E_PARALLEL $E_OBS $E_RAND $E_SERDE
   tbin ut_losspair crates/losspair/src/lib.rs $E_PROBNUM $E_NETSIM $E_SERDE
   tbin ut_clocksync crates/clocksync/src/lib.rs $E_SERDE
+  tbin ut_faults crates/faults/src/lib.rs $E_NETSIM $E_OBS $E_CLOCKSYNC $E_RAND $E_SERDE $E_JSON
   tbin ut_inet crates/inet/src/lib.rs $E_PROBNUM $E_NETSIM $E_CLOCKSYNC $E_RAND $E_DISTR $E_SERDE
   tbin ut_core crates/core/src/lib.rs $E_PROBNUM $E_PARALLEL $E_OBS $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_RAND $E_SERDE
   tbin ut_bench crates/bench/src/lib.rs $E_PROBNUM $E_PARALLEL $E_OBS $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_CLOCKSYNC $E_INET $E_CORE $E_RAND $E_SERDE $E_JSON
@@ -109,18 +112,19 @@ build_tests() {
   tbin it_core_prop crates/core/tests/proptests.rs $E_CORE $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_PROBNUM $E_RAND $E_PROPTEST
 
   # Facade integration tests.
-  local FACADE_EXT="$E_FACADE $E_PROBNUM $E_PARALLEL $E_OBS $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_CLOCKSYNC $E_INET $E_CORE $E_RAND $E_JSON"
+  local FACADE_EXT="$E_FACADE $E_PROBNUM $E_PARALLEL $E_OBS $E_NETSIM $E_HMM $E_MMHD $E_LOSSPAIR $E_CLOCKSYNC $E_FAULTS $E_INET $E_CORE $E_RAND $E_JSON"
   tbin it_end_to_end tests/end_to_end.rs $FACADE_EXT
   tbin it_baselines tests/baselines.rs $FACADE_EXT
   tbin it_clock_pipeline tests/clock_pipeline.rs $FACADE_EXT
   tbin it_ext_localization tests/extension_localization.rs $FACADE_EXT
   tbin it_parallel_determinism tests/parallel_determinism.rs $FACADE_EXT
   tbin it_golden_regression tests/golden_regression.rs $FACADE_EXT $E_BENCH $E_SERDE
+  tbin it_fault_robustness tests/fault_robustness.rs $FACADE_EXT
 }
 
 build_bins() {
   echo "== compile-checking bench bins and benches"
-  local BIN_EXT="$E_BENCH $E_CORE $E_INET $E_OBS $E_NETSIM $E_LOSSPAIR $E_CLOCKSYNC $E_HMM $E_MMHD $E_PROBNUM $E_PARALLEL $E_RAND $E_DISTR $E_SERDE $E_JSON"
+  local BIN_EXT="$E_BENCH $E_CORE $E_INET $E_OBS $E_NETSIM $E_LOSSPAIR $E_CLOCKSYNC $E_FAULTS $E_HMM $E_MMHD $E_PROBNUM $E_PARALLEL $E_RAND $E_DISTR $E_SERDE $E_JSON"
   for src in crates/bench/src/bin/*.rs; do
     local name
     name=$(basename "$src" .rs)
@@ -144,7 +148,8 @@ run_tests() {
            ut_inet ut_core ut_bench it_probnum_prop it_netsim_prop it_hmm_prop \
            it_mmhd_prop it_losspair_prop it_clocksync_prop it_inet_pipeline \
            it_core_prop it_end_to_end it_baselines it_clock_pipeline \
-           it_ext_localization it_parallel_determinism it_golden_regression; do
+           it_ext_localization it_parallel_determinism it_golden_regression \
+           ut_faults it_fault_robustness; do
     [ -x "$OUT/$t" ] || continue
     echo "-- $t"
     if ! "$OUT/$t" -q; then failed=1; fi
@@ -165,11 +170,23 @@ obs_smoke() {
   rm -f "$artifact"
 }
 
+fault_smoke() {
+  echo "== fault-injection smoke run + artifact validation"
+  local artifact
+  artifact=$(mktemp -t dcl-fault-smoke.XXXXXX.jsonl)
+  # A seeded fault-intensity sweep over the bundled scenarios; the
+  # artifact must parse through the Event schema and contain
+  # fault-injection events (obs_check requires >= 1 kind).
+  "$OUT/bin_robustness" --quick --obs "$artifact" > /dev/null
+  "$OUT/bin_obs_check" "$artifact" 1
+  rm -f "$artifact"
+}
+
 case "$MODE" in
   build) build_libs ;;
   bins) build_bins ;;
   test) build_tests; run_tests ;;
-  smoke) obs_smoke ;;
-  all) build_libs; build_bins; build_tests; run_tests; obs_smoke ;;
+  smoke) obs_smoke; fault_smoke ;;
+  all) build_libs; build_bins; build_tests; run_tests; obs_smoke; fault_smoke ;;
   *) echo "usage: $0 [build|bins|test|smoke|all]" >&2; exit 2 ;;
 esac

@@ -11,6 +11,9 @@
 //! * [`mmhd`] / [`hmm`] — the two statistical models with EM inference;
 //! * [`losspair`] — the loss-pair baseline;
 //! * [`clocksync`] — one-way-delay skew removal;
+//! * [`faults`] — the deterministic, seeded measurement-impairment layer
+//!   (burst loss, reordering, duplication, clock drift, delay spikes,
+//!   truncation, corruption) behind the robustness harness;
 //! * [`inet`] — synthetic wide-area measurement paths (PlanetLab
 //!   substitute);
 //! * [`probnum`] — shared probability/numerics utilities;
@@ -26,6 +29,7 @@
 
 pub use dcl_clocksync as clocksync;
 pub use dcl_core as identification;
+pub use dcl_faults as faults;
 pub use dcl_hmm as hmm;
 pub use dcl_inet as inet;
 pub use dcl_losspair as losspair;

@@ -97,8 +97,8 @@ fn loss_pairs_estimate_the_dominant_queue_on_pair_traces() {
 }
 
 #[test]
-fn loss_pair_estimator_returns_none_on_single_probe_traces() {
+fn loss_pair_estimator_errors_on_single_probe_traces() {
     let trace = run(&strongly_cfg(8, false), 120.0);
     let disc = Discretizer::from_trace(&trace, 5, None).unwrap();
-    assert!(LossPairEstimator.estimate(&trace, &disc).is_none());
+    assert!(LossPairEstimator.estimate(&trace, &disc).is_err());
 }

@@ -75,6 +75,7 @@ fn hmm_fit_is_bitwise_identical_at_every_thread_count() {
         restarts: 4,
         restrict_loss_to_observed: true,
         parallelism,
+        guard_retries: 2,
     };
     let reference = hmm::fit(&obs, &opts(Some(1)));
     for p in PARALLELISMS {
@@ -115,6 +116,7 @@ fn mmhd_fit_is_bitwise_identical_at_every_thread_count() {
         empirical_init: false,
         tied_loss: false,
         parallelism,
+        guard_retries: 2,
     };
     let reference = mmhd::fit(&obs, &opts(Some(1)));
     for p in PARALLELISMS {
