@@ -13,7 +13,10 @@
 #   4. the robustness job: the end-to-end no-panic/no-NaN property suite
 #      plus a seeded fault-injection smoke sweep whose artifact must
 #      contain fault-injection events;
-#   5. clippy with warnings denied on the crates this layer touches.
+#   5. the perf-trajectory job: the `perf --quick` benchmark regenerates
+#      BENCH_perf.json at the repo root and both the report and a
+#      `--metrics` snapshot must pass the schema validators;
+#   6. clippy with warnings denied on the crates this layer touches.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -45,8 +48,16 @@ trap 'rm -f "$OBS_ARTIFACT" "$FAULT_ARTIFACT"' EXIT
 cargo run --release -q -p dcl-bench --bin robustness -- --quick --obs "$FAULT_ARTIFACT"
 cargo run --release -q -p dcl-bench --bin obs_check -- "$FAULT_ARTIFACT" 1
 
+echo "== perf trajectory: regenerate BENCH_perf.json + validate artifacts"
+METRICS_ARTIFACT=$(mktemp -t dcl-metrics-smoke.XXXXXX.json)
+trap 'rm -f "$OBS_ARTIFACT" "$FAULT_ARTIFACT" "$METRICS_ARTIFACT"' EXIT
+cargo run --release -q -p dcl-bench --bin perf -- --quick --out BENCH_perf.json \
+  --metrics "$METRICS_ARTIFACT"
+cargo run --release -q -p dcl-bench --bin obs_check -- --perf BENCH_perf.json
+cargo run --release -q -p dcl-bench --bin obs_check -- --metrics "$METRICS_ARTIFACT"
+
 echo "== clippy (deny warnings) on the parallel-layer crates"
-cargo clippy -q -p dcl-parallel -p dcl-obs -p dcl-probnum -p dcl-hmm \
+cargo clippy -q -p dcl-parallel -p dcl-obs -p dcl-metrics -p dcl-probnum -p dcl-hmm \
   -p dcl-mmhd -p dcl-core -p dcl-bench -p dcl-faults --all-targets -- -D warnings
 
 echo "CI OK"

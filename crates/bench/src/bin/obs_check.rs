@@ -1,26 +1,57 @@
-//! Validate an observability JSONL artifact: every line must round-trip
-//! through the [`dcl_obs::Event`] schema, the file must be non-empty, and
-//! (optionally) a minimum number of distinct event kinds must appear.
-//! Exits non-zero on any violation — CI runs this against the artifact of
-//! an instrumented smoke run.
+//! Validate the harness's machine-readable artifacts. Three modes, all
+//! exiting non-zero on any violation — CI runs them against the outputs
+//! of instrumented smoke runs:
+//!
+//! * `obs_check <path> [min_kinds]` — an observability JSONL artifact:
+//!   every line must round-trip through the [`dcl_obs::Event`] schema,
+//!   the file must be non-empty, and at least `min_kinds` distinct event
+//!   kinds must appear.
+//! * `obs_check --metrics <path>` — a `--metrics` snapshot: must parse as
+//!   [`dcl_metrics::Snapshot`] at the current schema version, with every
+//!   histogram internally consistent (bucket sums equal counts, maxima
+//!   within range).
+//! * `obs_check --perf <path>` — a `BENCH_perf.json` report: schema
+//!   version pinned, required keys present, every rate and wall-clock
+//!   value finite and non-negative, phases non-empty.
 //!
 //! Run: `cargo run -p dcl-bench --bin obs_check -- <path> [min_kinds]`
 
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
+use serde_json::Value;
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: obs_check <path> [min_kinds]");
+    let Some(first) = args.next() else {
+        eprintln!("usage: obs_check <path> [min_kinds] | --metrics <path> | --perf <path>");
         return ExitCode::from(2);
     };
-    let min_kinds: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    match first.as_str() {
+        "--metrics" => match args.next() {
+            Some(path) => check_metrics(&path),
+            None => {
+                eprintln!("obs_check: --metrics requires a path");
+                ExitCode::from(2)
+            }
+        },
+        "--perf" => match args.next() {
+            Some(path) => check_perf(&path),
+            None => {
+                eprintln!("obs_check: --perf requires a path");
+                ExitCode::from(2)
+            }
+        },
+        path => {
+            let min_kinds: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+            check_obs(path, min_kinds)
+        }
+    }
+}
 
-    let text = match std::fs::read_to_string(&path) {
+/// Legacy mode: validate an observability JSONL artifact.
+fn check_obs(path: &str, min_kinds: usize) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("obs_check: cannot read {path}: {e}");
@@ -70,5 +101,185 @@ fn main() -> ExitCode {
         kinds.len(),
         kinds.into_iter().collect::<Vec<_>>().join(", ")
     );
+    ExitCode::SUCCESS
+}
+
+/// Validate a `Log2Hist`'s internal consistency.
+fn hist_errors(name: &str, kind: &str, h: &dcl_metrics::Log2Hist, errors: &mut Vec<String>) {
+    let bucket_sum: u64 = h.buckets.iter().sum();
+    if bucket_sum != h.count {
+        errors.push(format!(
+            "{kind} {name:?}: bucket sum {bucket_sum} != count {}",
+            h.count
+        ));
+    }
+    if h.count == 0 && (h.sum != 0 || h.max != 0) {
+        errors.push(format!("{kind} {name:?}: empty histogram with nonzero sum/max"));
+    }
+    if h.count > 0 && h.max > h.sum {
+        errors.push(format!(
+            "{kind} {name:?}: max {} exceeds sum {}",
+            h.max, h.sum
+        ));
+    }
+}
+
+/// Validate a `--metrics` snapshot artifact.
+fn check_metrics(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let snap: dcl_metrics::Snapshot = match serde_json::from_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("obs_check: {path}: not a metrics snapshot: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut errors = Vec::new();
+    if snap.schema_version != dcl_metrics::SCHEMA_VERSION {
+        errors.push(format!(
+            "schema_version {} != expected {}",
+            snap.schema_version,
+            dcl_metrics::SCHEMA_VERSION
+        ));
+    }
+    for (name, h) in &snap.histograms {
+        hist_errors(name, "histogram", h, &mut errors);
+    }
+    for (name, p) in &snap.spans {
+        if p.count == 0 {
+            errors.push(format!("span {name:?}: zero-count profile"));
+        }
+        if p.max_ns > p.total_ns {
+            errors.push(format!(
+                "span {name:?}: max {} ns exceeds total {} ns",
+                p.max_ns, p.total_ns
+            ));
+        }
+        if p.p50_ns > p.p95_ns {
+            errors.push(format!(
+                "span {name:?}: p50 {} ns exceeds p95 {} ns",
+                p.p50_ns, p.p95_ns
+            ));
+        }
+    }
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("obs_check: {path}: {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "obs_check: {path}: metrics snapshot ok ({} counters, {} gauges, {} histograms, {} spans)",
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.histograms.len(),
+        snap.spans.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Required finite, non-negative numeric keys of a perf report.
+const PERF_NUMBERS: &[&str] = &[
+    "total_wall_ns",
+    "peak_rss_bytes",
+    "probes_per_sec",
+    "em_iterations_per_sec",
+    "sweep_cells_per_sec",
+];
+
+/// Numeric field check shared by the report root and its phases: present,
+/// a number, finite, non-negative.
+fn check_number(ctx: &str, obj: &Value, key: &str, errors: &mut Vec<String>) {
+    match obj.get(key).and_then(Value::as_f64) {
+        None => errors.push(format!("{ctx}: missing or non-numeric {key:?}")),
+        Some(x) if !x.is_finite() => errors.push(format!("{ctx}: {key:?} is not finite")),
+        Some(x) if x < 0.0 => errors.push(format!("{ctx}: {key:?} is negative ({x})")),
+        Some(_) => {}
+    }
+}
+
+/// Validate a `BENCH_perf.json` performance report.
+fn check_perf(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report: Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("obs_check: {path}: invalid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut errors = Vec::new();
+    match report.get("schema_version").and_then(Value::as_u64) {
+        Some(1) => {}
+        Some(v) => errors.push(format!("schema_version {v} != expected 1")),
+        None => errors.push("missing schema_version".to_owned()),
+    }
+    if report.get("quick").and_then(Value::as_bool).is_none() {
+        errors.push("missing or non-boolean \"quick\"".to_owned());
+    }
+    match report.get("git_rev").and_then(Value::as_str) {
+        Some(rev) if !rev.is_empty() => {}
+        _ => errors.push("missing or empty \"git_rev\"".to_owned()),
+    }
+    match report.get("threads").and_then(Value::as_u64) {
+        Some(t) if t >= 1 => {}
+        _ => errors.push("missing or zero \"threads\"".to_owned()),
+    }
+    for key in PERF_NUMBERS {
+        check_number("report", &report, key, &mut errors);
+    }
+    match report.get("phases").and_then(Value::as_array) {
+        None => errors.push("missing \"phases\" array".to_owned()),
+        Some(phases) if phases.is_empty() => errors.push("\"phases\" is empty".to_owned()),
+        Some(phases) => {
+            for (i, phase) in phases.iter().enumerate() {
+                let ctx = format!("phases[{i}]");
+                match phase.get("name").and_then(Value::as_str) {
+                    Some(n) if !n.is_empty() => {}
+                    _ => errors.push(format!("{ctx}: missing or empty name")),
+                }
+                for key in ["wall_ns", "items", "items_per_sec"] {
+                    check_number(&ctx, phase, key, &mut errors);
+                }
+            }
+        }
+    }
+    // The embedded metrics snapshot must itself be valid.
+    match report.get("metrics") {
+        None => errors.push("missing embedded \"metrics\" snapshot".to_owned()),
+        Some(metrics) => {
+            match metrics
+                .get("schema_version")
+                .and_then(Value::as_u64)
+            {
+                Some(v) if v == dcl_metrics::SCHEMA_VERSION as u64 => {}
+                _ => errors.push("embedded metrics snapshot has wrong schema_version".to_owned()),
+            }
+        }
+    }
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("obs_check: {path}: {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let phases = report
+        .get("phases")
+        .and_then(Value::as_array)
+        .map(Vec::len)
+        .unwrap_or(0);
+    println!("obs_check: {path}: perf report ok ({phases} phases)");
     ExitCode::SUCCESS
 }

@@ -1,13 +1,17 @@
 //! Shared command-line handling for the experiment binaries.
 //!
 //! Every bin accepts the same surface: positional arguments (whatever the
-//! binary documents — measure seconds, repetitions) plus the common
-//! `--obs <path>` flag that streams the run's observability events to a
-//! JSONL artifact. `DCL_OBS=1` without `--obs` enables instrumentation
-//! with only the end-of-run summary table (no artifact).
+//! binary documents — measure seconds, repetitions) plus two common
+//! flags. `--obs <path>` streams the run's observability events to a
+//! JSONL artifact; `DCL_OBS=1` without `--obs` enables instrumentation
+//! with only the end-of-run summary table (no artifact). `--metrics
+//! <path>` enables the `dcl_metrics` registry and dumps its final
+//! snapshot as JSON; `DCL_METRICS=1` without `--metrics` enables the
+//! registry with only the end-of-run table on stderr.
 //!
 //! ```text
-//! DCL_OBS=1 cargo run --release -p dcl-bench --bin table2 -- 60 --obs run.jsonl
+//! DCL_OBS=1 cargo run --release -p dcl-bench --bin table2 -- 60 \
+//!     --obs run.jsonl --metrics run-metrics.json
 //! ```
 //!
 //! [`init`] parses the arguments and installs the recorder; the returned
@@ -22,17 +26,22 @@ pub struct Cli {
     positionals: Vec<String>,
     obs_path: Option<PathBuf>,
     obs_active: bool,
+    metrics_path: Option<PathBuf>,
+    metrics_active: bool,
 }
 
-/// Parse the process arguments and set up observability.
+/// Parse the process arguments and set up observability and metrics.
 ///
-/// Recognises `--obs <path>` and `--obs=<path>` anywhere on the line;
-/// everything else is collected as positionals in order. With `--obs` a
-/// [`dcl_obs::JsonlSink`] is installed and instrumentation enabled; with
-/// only `DCL_OBS` set, instrumentation is enabled summary-only.
+/// Recognises `--obs <path>` / `--obs=<path>` and `--metrics <path>` /
+/// `--metrics=<path>` anywhere on the line; everything else is collected
+/// as positionals in order. With `--obs` a [`dcl_obs::JsonlSink`] is
+/// installed and instrumentation enabled; with only `DCL_OBS` set,
+/// instrumentation is enabled summary-only. `--metrics` enables the
+/// metrics registry; `DCL_METRICS` mirrors `DCL_OBS`.
 pub fn init() -> Cli {
     let mut positionals = Vec::new();
     let mut obs_path: Option<PathBuf> = None;
+    let mut metrics_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if let Some(path) = arg.strip_prefix("--obs=") {
@@ -42,6 +51,16 @@ pub fn init() -> Cli {
                 Some(path) => obs_path = Some(PathBuf::from(path)),
                 None => {
                     eprintln!("--obs requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(path) = arg.strip_prefix("--metrics=") {
+            metrics_path = Some(PathBuf::from(path));
+        } else if arg == "--metrics" {
+            match args.next() {
+                Some(path) => metrics_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--metrics requires a path argument");
                     std::process::exit(2);
                 }
             }
@@ -65,10 +84,19 @@ pub fn init() -> Cli {
         dcl_obs::init_from_env()
     };
 
+    let metrics_active = if metrics_path.is_some() {
+        dcl_metrics::set_enabled(true);
+        true
+    } else {
+        dcl_metrics::init_from_env()
+    };
+
     Cli {
         positionals,
         obs_path,
         obs_active,
+        metrics_path,
+        metrics_active,
     }
 }
 
@@ -93,10 +121,37 @@ impl Cli {
     pub fn obs_path(&self) -> Option<&std::path::Path> {
         self.obs_path.as_deref()
     }
+
+    /// Where the metrics snapshot will be written, if `--metrics` was
+    /// given.
+    pub fn metrics_path(&self) -> Option<&std::path::Path> {
+        self.metrics_path.as_deref()
+    }
 }
 
 impl Drop for Cli {
     fn drop(&mut self) {
+        if self.metrics_active {
+            if let Some(snapshot) = dcl_metrics::finish() {
+                if let Some(path) = &self.metrics_path {
+                    match serde_json::to_string_pretty(&snapshot) {
+                        Ok(json) => {
+                            if let Err(e) = std::fs::write(path, json + "\n") {
+                                eprintln!(
+                                    "cannot write metrics snapshot {}: {e}",
+                                    path.display()
+                                );
+                            } else {
+                                eprintln!("metrics snapshot: {}", path.display());
+                            }
+                        }
+                        Err(e) => eprintln!("cannot serialise metrics snapshot: {e}"),
+                    }
+                } else if !snapshot.is_empty() {
+                    eprint!("{}", snapshot.render());
+                }
+            }
+        }
         if !self.obs_active {
             return;
         }
@@ -119,11 +174,14 @@ mod tests {
             positionals: vec!["60".into(), "abc".into()],
             obs_path: None,
             obs_active: false,
+            metrics_path: None,
+            metrics_active: false,
         };
         assert_eq!(cli.pos_f64(0), Some(60.0));
         assert_eq!(cli.pos_f64(1), None);
         assert_eq!(cli.pos_usize(0), Some(60));
         assert_eq!(cli.pos(2), None);
         assert!(cli.obs_path().is_none());
+        assert!(cli.metrics_path().is_none());
     }
 }

@@ -370,6 +370,15 @@ pub fn identify(trace: &ProbeTrace, cfg: &IdentifyConfig) -> Result<Identificati
         (None, None)
     };
 
+    dcl_metrics::counter("identify.runs", 1);
+    dcl_metrics::counter(
+        match verdict {
+            Verdict::StronglyDominant => "identify.verdict.strongly_dominant",
+            Verdict::WeaklyDominant => "identify.verdict.weakly_dominant",
+            Verdict::NoDominant => "identify.verdict.no_dominant",
+        },
+        1,
+    );
     dcl_obs::record_with(|| dcl_obs::Event::Identification {
         verdict: match verdict {
             Verdict::StronglyDominant => "strongly-dominant",

@@ -105,6 +105,7 @@ pub fn duration_sweep(trace: &ProbeTrace, cfg: &SweepConfig) -> Option<SweepResu
     let cells = durations.len() * cfg.repetitions;
     let outcomes = dcl_parallel::par_map_indexed(cfg.parallelism, cells, |cell| {
         let _span = dcl_obs::span("sweep.cell");
+        dcl_metrics::counter("sweep.cells", 1);
         let (_, probes) = durations[cell / cfg.repetitions];
         let cell_seed = dcl_parallel::mix64(cfg.seed ^ dcl_parallel::mix64(cell as u64));
         let mut rng = SmallRng::seed_from_u64(cell_seed);
@@ -113,6 +114,7 @@ pub fn duration_sweep(trace: &ProbeTrace, cfg: &SweepConfig) -> Option<SweepResu
         match identify(&segment, &cfg.identify) {
             Ok(r) => (r.verdict != Verdict::NoDominant, false),
             Err(_) => {
+                dcl_metrics::counter("sweep.unusable", 1);
                 dcl_obs::record_with(|| dcl_obs::Event::Counter {
                     name: "sweep.unusable".to_string(),
                     value: 1,

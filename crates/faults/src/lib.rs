@@ -310,6 +310,8 @@ impl FaultPlan {
             let seed = self.seed.wrapping_add(i as u64 * 0x9E37);
             let mut rng = SmallRng::seed_from_u64(seed);
             let affected = fault.apply(&mut out.records, &mut rng);
+            dcl_metrics::counter("faults.applied", 1);
+            dcl_metrics::counter("faults.records_affected", affected);
             dcl_obs::record_with(|| dcl_obs::Event::FaultInjection {
                 fault: fault.name().to_string(),
                 seed,

@@ -317,6 +317,12 @@ fn em_attempt(obs: &[Obs], opts: &EmOptions, r: usize, rng_seed: u64) -> Result<
         reason: if converged { "tol" } else { "max-iters" }.to_string(),
         log_likelihood: final_ll,
     });
+    dcl_metrics::counter("hmm.em.restarts", 1);
+    dcl_metrics::counter("hmm.em.iterations", iterations as u64);
+    dcl_metrics::observe("hmm.em.iters_per_restart", iterations as u64);
+    if converged {
+        dcl_metrics::counter("hmm.em.converged", 1);
+    }
     Ok(FitResult {
         model,
         log_likelihood: final_ll,
@@ -349,6 +355,7 @@ fn guarded_restart(obs: &[Obs], opts: &EmOptions, r: usize) -> (Option<FitResult
             }
             Err(reason) => {
                 trips += 1;
+                dcl_metrics::counter("hmm.em.guard_trips", 1);
                 dcl_obs::record_with(|| dcl_obs::Event::EmGuard {
                     model: "hmm".to_string(),
                     restart: r,

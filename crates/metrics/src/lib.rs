@@ -1,0 +1,442 @@
+//! `dcl-metrics`: process-wide quantitative metrics with the workspace's
+//! zero-overhead discipline and a deterministic parallel merge.
+//!
+//! Where `dcl-obs` streams *events* (what happened, in order), this crate
+//! keeps *aggregates*: monotonic counters, last-write gauges, log2
+//! histograms, and per-span wall-clock profiles. The EM fitters count
+//! iterations, restarts and guard trips; the simulator folds per-link
+//! packet and drop totals; the pipeline tracks identification and
+//! sweep-cell throughput. A [`Snapshot`] of the registry is the raw
+//! material for the `perf` bench binary's `BENCH_perf.json` trajectory.
+//!
+//! # Zero overhead when disabled
+//!
+//! Instrumentation is off by default. Every recording call —
+//! [`counter`], [`gauge`], [`observe`], [`observe_duration_ns`] — starts
+//! with one relaxed atomic load and an untaken branch; names are
+//! `&'static str` and values plain integers, so the disabled path
+//! constructs nothing. Dynamic-key folds ([`counter_with`]) take a
+//! closure that only runs when enabled. The parallel-determinism suite
+//! pins that identification outputs are bit-identical with the registry
+//! on and off.
+//!
+//! # Deterministic snapshots
+//!
+//! Parallel regions must not let the schedule leak into the registry.
+//! The contract mirrors `dcl-obs`: a worker runs each item under
+//! [`capture`], which redirects the item's folds into a thread-local
+//! shard; the fork-join scope then [`merge`]s the shards **in item-index
+//! order** after the join. Counter and histogram folds are commutative,
+//! and gauge writes resolve by index order — so a [`snapshot`] is bitwise
+//! identical at any worker count (wall-clock span timings excepted;
+//! compare with [`Snapshot::canonical`]). Nested captures drain into
+//! their parent, exactly like obs frames.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod snapshot;
+
+pub use hist::{log2_bucket, Log2Hist, NUM_BUCKETS};
+pub use snapshot::{Snapshot, SpanProfile, SCHEMA_VERSION};
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// The fast-path gate. Relaxed suffices: enabling happens at run
+/// boundaries, not concurrently with recording, and a stale read only
+/// loses a boundary fold.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The registry tables. Also the shard type: a capture frame is just a
+/// private registry folded into its parent at merge time.
+#[derive(Debug, Default, Clone)]
+pub struct Shard {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Log2Hist>,
+    spans: BTreeMap<String, Log2Hist>,
+}
+
+impl Shard {
+    fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Fold `other` into `self`. Counters and histograms add (commutative);
+    /// gauges are last-write-wins, so calling this in item-index order
+    /// makes the merged gauge the highest-index write — a pure function of
+    /// the items, never of the schedule.
+    fn fold(&mut self, other: Shard) {
+        for (k, v) in other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in other.gauges {
+            self.gauges.insert(k, v);
+        }
+        for (k, h) in other.histograms {
+            self.histograms.entry(k).or_default().merge(&h);
+        }
+        for (k, h) in other.spans {
+            self.spans.entry(k).or_default().merge(&h);
+        }
+    }
+
+    fn to_snapshot(&self) -> Snapshot {
+        Snapshot {
+            schema_version: SCHEMA_VERSION,
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+            spans: self
+                .spans
+                .iter()
+                .map(|(name, h)| {
+                    (
+                        name.clone(),
+                        SpanProfile {
+                            count: h.count,
+                            total_ns: h.sum,
+                            max_ns: h.max,
+                            p50_ns: h.quantile_upper_bound(0.50),
+                            p95_ns: h.quantile_upper_bound(0.95),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+static GLOBAL: Mutex<Option<Shard>> = Mutex::new(None);
+
+thread_local! {
+    /// Capture-frame stack for the deterministic parallel merge. Empty
+    /// when the thread folds straight into the global registry.
+    static FRAME: RefCell<Vec<Shard>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Is the registry live? The disabled path is a single relaxed load.
+#[inline(always)]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn the registry on or off. Enabling creates the global tables if
+/// absent; disabling leaves them in place (snapshot/finish still work).
+pub fn set_enabled(on: bool) {
+    if on {
+        let mut global = GLOBAL.lock().unwrap();
+        if global.is_none() {
+            *global = Some(Shard::default());
+        }
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Read the `DCL_METRICS` environment variable (same grammar as
+/// `DCL_OBS`) and enable the registry unless it is `""` / `"0"` /
+/// `"false"` / `"off"`. Returns whether the registry ended up enabled.
+pub fn init_from_env() -> bool {
+    let on = std::env::var("DCL_METRICS")
+        .map(|v| !matches!(v.as_str(), "" | "0" | "false" | "off"))
+        .unwrap_or(false);
+    if on {
+        set_enabled(true);
+    }
+    on
+}
+
+/// Apply `f` to the innermost capture frame, or the global registry when
+/// no frame is installed.
+fn with_sink(f: impl FnOnce(&mut Shard)) {
+    // The closure comes back out when no frame is installed, so it can
+    // run against the global registry instead.
+    let unused = FRAME.with(|frames| {
+        let mut frames = frames.borrow_mut();
+        match frames.last_mut() {
+            Some(shard) => {
+                f(shard);
+                None
+            }
+            None => Some(f),
+        }
+    });
+    if let Some(f) = unused {
+        let mut global = GLOBAL.lock().unwrap();
+        f(global.get_or_insert_with(Shard::default));
+    }
+}
+
+/// Add `delta` to the monotonic counter `name`. One relaxed load when
+/// disabled.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if is_enabled() {
+        counter_cold(name, delta);
+    }
+}
+
+#[cold]
+fn counter_cold(name: &str, delta: u64) {
+    with_sink(|s| *s.counters.entry(name.to_string()).or_insert(0) += delta);
+}
+
+/// Add to a counter whose name is built by `f` — for cold paths with
+/// dynamic keys (per-link totals). The closure only runs when enabled.
+#[inline]
+pub fn counter_with(f: impl FnOnce() -> (String, u64)) {
+    if is_enabled() {
+        let (name, delta) = f();
+        with_sink(|s| *s.counters.entry(name).or_insert(0) += delta);
+    }
+}
+
+/// Set the gauge `name` to `value` (last write wins; parallel regions
+/// resolve writes in item-index order).
+#[inline]
+pub fn gauge(name: &'static str, value: u64) {
+    if is_enabled() {
+        gauge_cold(name, value);
+    }
+}
+
+#[cold]
+fn gauge_cold(name: &str, value: u64) {
+    with_sink(|s| {
+        s.gauges.insert(name.to_string(), value);
+    });
+}
+
+/// Fold `value` into the log2 histogram `name`. Use only for
+/// deterministic quantities (iteration counts, queue depths) — wall-clock
+/// values belong in span profiles, which [`Snapshot::canonical`]
+/// neutralises.
+#[inline]
+pub fn observe(name: &'static str, value: u64) {
+    if is_enabled() {
+        observe_cold(name, value);
+    }
+}
+
+#[cold]
+fn observe_cold(name: &str, value: u64) {
+    with_sink(|s| s.histograms.entry(name.to_string()).or_default().observe(value));
+}
+
+/// Fold one completed wall-clock span into the profile `name`.
+/// `dcl-obs` spans call this on drop; direct callers may too.
+#[inline]
+pub fn observe_duration_ns(name: &'static str, ns: u64) {
+    if is_enabled() {
+        observe_duration_cold(name, ns);
+    }
+}
+
+#[cold]
+fn observe_duration_cold(name: &str, ns: u64) {
+    with_sink(|s| s.spans.entry(name.to_string()).or_default().observe(ns));
+}
+
+/// Run `f` with a fresh capture frame: folds it performs land in a
+/// private [`Shard`] returned alongside the result instead of the global
+/// registry. The parallel layer calls this once per work item and merges
+/// the shards in index order with [`merge`].
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Shard) {
+    FRAME.with(|frames| frames.borrow_mut().push(Shard::default()));
+    // A panic in `f` unwinds with a frame leaked; acceptable — the run is
+    // aborting anyway (mirrors the obs capture contract).
+    let out = f();
+    let shard = FRAME.with(|frames| frames.borrow_mut().pop().unwrap_or_default());
+    (out, shard)
+}
+
+/// Fold a captured shard into the current stream: the enclosing capture
+/// frame if one is installed (nested parallelism), else the global
+/// registry. Call in item-index order after a fork-join.
+pub fn merge(shard: Shard) {
+    if shard.is_empty() {
+        return;
+    }
+    with_sink(|s| s.fold(shard));
+}
+
+/// A point-in-time copy of the registry ([`Snapshot::default`] when
+/// nothing was ever enabled).
+pub fn snapshot() -> Snapshot {
+    let global = GLOBAL.lock().unwrap();
+    match global.as_ref() {
+        Some(shard) => shard.to_snapshot(),
+        None => Snapshot {
+            schema_version: SCHEMA_VERSION,
+            ..Snapshot::default()
+        },
+    }
+}
+
+/// Disable the registry, take its contents, and reset it. Returns `None`
+/// if the registry was never enabled.
+pub fn finish() -> Option<Snapshot> {
+    ENABLED.store(false, Ordering::Relaxed);
+    GLOBAL.lock().unwrap().take().map(|shard| shard.to_snapshot())
+}
+
+/// Clear every table without touching the enabled flag — test isolation
+/// and multi-phase binaries that want per-phase snapshots.
+pub fn reset() {
+    let mut global = GLOBAL.lock().unwrap();
+    if let Some(shard) = global.as_mut() {
+        *shard = Shard::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// The registry is process-wide; tests that toggle it must not
+    /// overlap.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn fresh() -> MutexGuard<'static, ()> {
+        let g = exclusive();
+        let _ = finish();
+        set_enabled(true);
+        g
+    }
+
+    #[test]
+    fn disabled_is_inert_and_constructs_nothing() {
+        let _g = exclusive();
+        let _ = finish();
+        let mut built = false;
+        counter("dead", 1);
+        counter_with(|| {
+            built = true;
+            ("dead".to_string(), 1)
+        });
+        assert!(!built, "closure must not run while disabled");
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_histograms_fold() {
+        let _g = fresh();
+        counter("c", 2);
+        counter("c", 3);
+        gauge("g", 7);
+        gauge("g", 9);
+        observe("h", 4);
+        observe_duration_ns("s", 1000);
+        counter_with(|| ("link.drops".to_string(), 11));
+        let snap = finish().unwrap();
+        assert_eq!(snap.counters["c"], 5);
+        assert_eq!(snap.counters["link.drops"], 11);
+        assert_eq!(snap.gauges["g"], 9);
+        assert_eq!(snap.histograms["h"].count, 1);
+        assert_eq!(snap.spans["s"].count, 1);
+        assert_eq!(snap.spans["s"].total_ns, 1000);
+        assert_eq!(snap.schema_version, SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn capture_isolates_and_merge_folds() {
+        let _g = fresh();
+        counter("outer", 1);
+        let ((), shard) = capture(|| {
+            counter("inner", 5);
+            gauge("who", 1);
+        });
+        // Nothing from the capture reached the registry yet.
+        assert!(!snapshot().counters.contains_key("inner"));
+        merge(shard);
+        let snap = finish().unwrap();
+        assert_eq!(snap.counters["outer"], 1);
+        assert_eq!(snap.counters["inner"], 5);
+        assert_eq!(snap.gauges["who"], 1);
+    }
+
+    #[test]
+    fn nested_capture_drains_into_parent() {
+        let _g = fresh();
+        let ((), outer) = capture(|| {
+            counter("a", 1);
+            let ((), inner) = capture(|| counter("a", 2));
+            merge(inner);
+        });
+        merge(outer);
+        let snap = finish().unwrap();
+        assert_eq!(snap.counters["a"], 3);
+    }
+
+    #[test]
+    fn merge_order_resolves_gauges_deterministically() {
+        let _g = fresh();
+        let ((), s0) = capture(|| gauge("g", 10));
+        let ((), s1) = capture(|| gauge("g", 20));
+        // Index order: shard 0 then shard 1 — last write wins.
+        merge(s0);
+        merge(s1);
+        let snap = finish().unwrap();
+        assert_eq!(snap.gauges["g"], 20);
+    }
+
+    #[test]
+    fn shard_merge_matches_serial_fold_bitwise() {
+        let _g = fresh();
+        let values = [3u64, 0, 9, 77, 250_000, 1, 1];
+        let serial = {
+            for &v in &values {
+                counter("c", v);
+                observe("h", v);
+            }
+            let s = finish().unwrap();
+            set_enabled(true);
+            s
+        };
+        let shards: Vec<Shard> = values
+            .iter()
+            .map(|&v| {
+                capture(|| {
+                    counter("c", v);
+                    observe("h", v);
+                })
+                .1
+            })
+            .collect();
+        for shard in shards {
+            merge(shard);
+        }
+        let merged = finish().unwrap();
+        assert_eq!(serial, merged);
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_enabled() {
+        let _g = fresh();
+        counter("c", 1);
+        reset();
+        assert!(is_enabled());
+        assert!(snapshot().is_empty());
+        let _ = finish();
+    }
+
+    #[test]
+    fn env_grammar_matches_obs() {
+        // Can't mutate the process env safely here; just pin the parse.
+        for off in ["", "0", "false", "off"] {
+            assert!(matches!(off, "" | "0" | "false" | "off"));
+        }
+    }
+}

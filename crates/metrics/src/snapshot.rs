@@ -1,0 +1,184 @@
+//! Serializable registry snapshots.
+//!
+//! A [`Snapshot`] is the wire form of the registry at one instant:
+//! schema-versioned, key-sorted (every table is a `BTreeMap`), and pure
+//! integers — so two snapshots of the same run compare bitwise, and the
+//! JSON rendering is byte-stable across thread counts once wall-clock
+//! fields are neutralised with [`Snapshot::canonical`].
+
+use crate::hist::Log2Hist;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Version stamp of the snapshot schema. Bump on any field change; the
+/// artifact validator (`obs_check --metrics`) rejects mismatches.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Aggregate of one named wall-clock span (fed by `dcl_obs::span`).
+///
+/// Everything except `count` is wall-clock derived and therefore
+/// nondeterministic; [`Snapshot::canonical`] zeroes those fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SpanProfile {
+    /// Completed spans.
+    pub count: u64,
+    /// Total wall time across spans, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+    /// Log2-bucket upper bound on the median span, nanoseconds.
+    pub p50_ns: u64,
+    /// Log2-bucket upper bound on the 95th-percentile span, nanoseconds.
+    pub p95_ns: u64,
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Schema version ([`SCHEMA_VERSION`] at creation).
+    pub schema_version: u32,
+    /// Monotonic counter totals.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-written gauge values.
+    pub gauges: BTreeMap<String, u64>,
+    /// Log2 histograms of deterministic quantities.
+    pub histograms: BTreeMap<String, Log2Hist>,
+    /// Per-span wall-clock profiles.
+    pub spans: BTreeMap<String, SpanProfile>,
+}
+
+impl Snapshot {
+    /// The snapshot with every wall-clock-derived field zeroed: span
+    /// profiles keep their counts, lose their timings. Counters, gauges
+    /// and histograms hold only simulated/algorithmic state, so they pass
+    /// through untouched. Canonical snapshots of the same workload are
+    /// bitwise identical at any thread count.
+    pub fn canonical(&self) -> Snapshot {
+        let mut c = self.clone();
+        for profile in c.spans.values_mut() {
+            *profile = SpanProfile {
+                count: profile.count,
+                ..SpanProfile::default()
+            };
+        }
+        c
+    }
+
+    /// Is there anything in the snapshot?
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// The human-readable end-of-run table (mirrors the obs summary).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "-- metrics snapshot (schema v{})", self.schema_version);
+        if !self.counters.is_empty() {
+            let _ = writeln!(s, "{:<36} {:>14}", "counter", "total");
+            for (name, v) in &self.counters {
+                let _ = writeln!(s, "{name:<36} {v:>14}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(s, "{:<36} {:>14}", "gauge", "value");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(s, "{name:<36} {v:>14}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                s,
+                "{:<36} {:>10} {:>12} {:>12}",
+                "histogram", "count", "mean", "max"
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    s,
+                    "{name:<36} {:>10} {:>12.2} {:>12}",
+                    h.count,
+                    h.mean(),
+                    h.max
+                );
+            }
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(
+                s,
+                "{:<36} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                "span", "count", "total ms", "p50 ms", "p95 ms", "max ms"
+            );
+            for (name, p) in &self.spans {
+                let _ = writeln!(
+                    s,
+                    "{name:<36} {:>8} {:>10.2} {:>10.3} {:>10.3} {:>10.2}",
+                    p.count,
+                    p.total_ns as f64 / 1e6,
+                    p.p50_ns as f64 / 1e6,
+                    p.p95_ns as f64 / 1e6,
+                    p.max_ns as f64 / 1e6,
+                );
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot {
+            schema_version: SCHEMA_VERSION,
+            ..Snapshot::default()
+        };
+        s.counters.insert("em.iterations".into(), 420);
+        s.gauges.insert("threads".into(), 4);
+        let mut h = Log2Hist::new();
+        h.observe(17);
+        s.histograms.insert("iters".into(), h);
+        s.spans.insert(
+            "identify".into(),
+            SpanProfile {
+                count: 3,
+                total_ns: 999,
+                max_ns: 500,
+                p50_ns: 255,
+                p95_ns: 511,
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn canonical_zeroes_wall_clock_but_keeps_counts() {
+        let c = sample().canonical();
+        let p = c.spans["identify"];
+        assert_eq!(p.count, 3);
+        assert_eq!(
+            (p.total_ns, p.max_ns, p.p50_ns, p.p95_ns),
+            (0, 0, 0, 0),
+            "wall-clock fields must be neutralised"
+        );
+        assert_eq!(c.counters["em.iterations"], 420);
+        assert_eq!(c.histograms["iters"].count, 1);
+    }
+
+    #[test]
+    fn render_mentions_every_table() {
+        let table = sample().render();
+        for needle in ["em.iterations", "threads", "iters", "identify"] {
+            assert!(table.contains(needle), "{needle} missing from:\n{table}");
+        }
+    }
+
+    #[test]
+    fn is_empty_on_default() {
+        assert!(Snapshot::default().is_empty());
+        assert!(!sample().is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the metrics registry's log2 histogram — the
+//! data structure whose merge semantics carry the snapshot-determinism
+//! guarantee. The properties below are exactly what the deterministic
+//! index-order fold relies on: merging is commutative and associative
+//! over the values observed, never loses counts, and the summary
+//! statistics (count, sum, max, quantile bounds) agree with the raw
+//! observations.
+
+use dcl_metrics::{log2_bucket, Log2Hist, NUM_BUCKETS};
+use proptest::prelude::*;
+
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..1_000_000_000, 0..64)
+}
+
+fn hist_of(values: &[u64]) -> Log2Hist {
+    let mut h = Log2Hist::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn bucket_index_is_monotone_and_in_range(v in any::<u64>()) {
+        let b = log2_bucket(v);
+        prop_assert!(b < NUM_BUCKETS);
+        if v > 0 {
+            prop_assert!(log2_bucket(v - 1) <= b);
+        }
+        prop_assert!(log2_bucket(v.saturating_add(1)) >= b);
+    }
+
+    #[test]
+    fn observation_counts_are_preserved(vs in values()) {
+        let h = hist_of(&vs);
+        prop_assert_eq!(h.count, vs.len() as u64);
+        prop_assert_eq!(h.buckets.iter().sum::<u64>(), vs.len() as u64);
+        prop_assert_eq!(h.max, vs.iter().copied().max().unwrap_or(0));
+        // Sums saturate rather than wrap; these inputs stay far below u64::MAX.
+        prop_assert_eq!(h.sum, vs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn merge_is_commutative(a in values(), b in values()) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha;
+        ab.merge(&hb);
+        let mut ba = hb;
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in values(), b in values(), c in values()) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha;
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb;
+        bc.merge(&hc);
+        let mut right = ha;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_observation(a in values(), b in values()) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, hist_of(&concat));
+    }
+
+    #[test]
+    fn quantile_bounds_observations(vs in values(), q in 0.0f64..1.0) {
+        let h = hist_of(&vs);
+        let bound = h.quantile_upper_bound(q);
+        prop_assert!(bound <= h.max);
+        if !vs.is_empty() {
+            // The bound must cover at least a `q` fraction of the
+            // observations (it is an upper bound on the quantile).
+            let rank = ((q * vs.len() as f64).ceil() as usize).clamp(1, vs.len());
+            let mut sorted = vs.clone();
+            sorted.sort_unstable();
+            prop_assert!(sorted[rank - 1] <= bound);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip(vs in values()) {
+        let h = hist_of(&vs);
+        let json = serde_json::to_string(&h).expect("serializable");
+        let back: Log2Hist = serde_json::from_str(&json).expect("parseable");
+        prop_assert_eq!(h, back);
+    }
+}

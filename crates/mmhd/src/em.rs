@@ -327,6 +327,12 @@ fn em_attempt(obs: &[Obs], opts: &EmOptions, r: usize, rng_seed: u64) -> Result<
         reason: if converged { "tol" } else { "max-iters" }.to_string(),
         log_likelihood: final_ll,
     });
+    dcl_metrics::counter("mmhd.em.restarts", 1);
+    dcl_metrics::counter("mmhd.em.iterations", iterations as u64);
+    dcl_metrics::observe("mmhd.em.iters_per_restart", iterations as u64);
+    if converged {
+        dcl_metrics::counter("mmhd.em.converged", 1);
+    }
     Ok(FitResult {
         model,
         log_likelihood: final_ll,
@@ -355,6 +361,7 @@ fn guarded_restart(obs: &[Obs], opts: &EmOptions, r: usize) -> (Option<FitResult
             Ok(fit) => return (Some(fit), trips),
             Err(reason) => {
                 trips += 1;
+                dcl_metrics::counter("mmhd.em.guard_trips", 1);
                 dcl_obs::record_with(|| dcl_obs::Event::EmGuard {
                     model: "mmhd".to_string(),
                     restart: r,

@@ -176,13 +176,20 @@ impl LinkStats {
         }
     }
 
-    /// Link utilisation over an observation window of `elapsed`.
+    /// Link utilisation over an observation window of `elapsed`, as a
+    /// fraction in `[0, 1]`.
+    ///
+    /// The ratio is taken in integer nanoseconds and clamped: a zero
+    /// window yields 0 (not NaN), and a window shorter than the
+    /// accumulated busy time — a boundary probe-window query, or an
+    /// `elapsed` that excludes part of the measurement — yields 1 rather
+    /// than a nonsensical >1 "utilisation".
     pub fn utilization(&self, elapsed: Dur) -> f64 {
         if elapsed.is_zero() {
-            0.0
-        } else {
-            self.busy.as_secs() / elapsed.as_secs()
+            return 0.0;
         }
+        let ratio = self.busy.as_nanos() as f64 / elapsed.as_nanos() as f64;
+        ratio.clamp(0.0, 1.0)
     }
 }
 
@@ -596,5 +603,29 @@ mod tests {
         l.complete_tx(t0 + Dur::from_millis(8.0));
         let u = l.stats().utilization(Dur::from_millis(80.0));
         assert!((u - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_boundary_windows_stay_in_unit_interval() {
+        let mut l = link(1_000_000, 10_000);
+        let t0 = Time::ZERO;
+        l.enqueue(pkt(1, 1000), t0);
+        l.complete_tx(t0 + Dur::from_millis(8.0));
+        // Zero observation window: defined as 0, never NaN.
+        let zero = l.stats().utilization(Dur::ZERO);
+        assert_eq!(zero, 0.0);
+        assert!(zero.is_finite());
+        // Window shorter than the accumulated busy time (a boundary
+        // query against a partial window): clamps to 1, never >1.
+        let over = l.stats().utilization(Dur::from_millis(2.0));
+        assert_eq!(over, 1.0);
+        // Sub-millisecond window, still finite and clamped.
+        let tiny = l.stats().utilization(Dur::from_micros(1.0));
+        assert!(tiny.is_finite());
+        assert_eq!(tiny, 1.0);
+        // Exact window: full utilisation without floating-point excess.
+        let exact = l.stats().utilization(Dur::from_millis(8.0));
+        assert!((0.0..=1.0).contains(&exact));
+        assert!((exact - 1.0).abs() < 1e-12);
     }
 }

@@ -280,7 +280,38 @@ impl PathScenario {
         self.sim.reset_measurements();
         self.sim.run_until(Time::ZERO + warmup + measure);
         self.sim.record_queue_stats();
-        ProbeTrace::from_sim(&self.sim, self.base_delay, self.probe_interval)
+        let trace = ProbeTrace::from_sim(&self.sim, self.base_delay, self.probe_interval);
+        self.fold_metrics(&trace);
+        trace
+    }
+
+    /// Fold end-of-run totals into the `dcl_metrics` registry: probe and
+    /// event throughput counters plus per-hop-link queue/drop totals. All
+    /// values are simulated state, so the folds are deterministic; the
+    /// per-link names are built lazily via `counter_with` so a disabled
+    /// registry pays nothing.
+    fn fold_metrics(&self, trace: &ProbeTrace) {
+        if !dcl_metrics::is_enabled() {
+            return;
+        }
+        dcl_metrics::counter("netsim.runs", 1);
+        dcl_metrics::counter("netsim.probes", trace.len() as u64);
+        dcl_metrics::counter("netsim.events", self.sim.events_processed());
+        for &l in self.hop_links.iter() {
+            let link = self.sim.network().link(l);
+            let name = link.config().name.clone();
+            let s = *link.stats();
+            dcl_metrics::counter_with(|| (format!("netsim.link.{name}.arrivals"), s.arrivals));
+            dcl_metrics::counter_with(|| {
+                (
+                    format!("netsim.link.{name}.drops"),
+                    s.drops_overflow + s.drops_red,
+                )
+            });
+            dcl_metrics::counter_with(|| {
+                (format!("netsim.link.{name}.probe_drops"), s.probe_drops)
+            });
+        }
     }
 
     /// Loss rate of each hop link (all packets, measurement window).

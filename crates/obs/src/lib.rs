@@ -195,9 +195,12 @@ pub fn finish() -> Option<Summary> {
     })
 }
 
-/// RAII wall-clock span: records an [`Event::SpanTiming`] on drop. When
-/// instrumentation is disabled the constructor takes no timestamp and the
-/// drop is a branch on `None`.
+/// RAII wall-clock span: records an [`Event::SpanTiming`] on drop and
+/// feeds the `dcl-metrics` span profile. The span times whenever *either*
+/// facility is live — event instrumentation here, or the metrics registry
+/// — so `DCL_METRICS=1` alone still yields per-phase wall-time profiles.
+/// When both are disabled the constructor takes no timestamp and the drop
+/// is a branch on `None`.
 pub struct Span {
     start: Option<(&'static str, Instant)>,
 }
@@ -206,7 +209,7 @@ pub struct Span {
 #[inline(always)]
 pub fn span(name: &'static str) -> Span {
     Span {
-        start: is_enabled().then(|| (name, Instant::now())),
+        start: (is_enabled() || dcl_metrics::is_enabled()).then(|| (name, Instant::now())),
     }
 }
 
@@ -214,6 +217,7 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some((name, start)) = self.start.take() {
             let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            dcl_metrics::observe_duration_ns(name, wall_ns);
             record(Event::SpanTiming {
                 name: name.to_string(),
                 wall_ns,

@@ -81,18 +81,26 @@ where
 {
     let threads = effective_threads(parallelism).min(n);
     if threads <= 1 {
-        // Serial path: items run in index order, so their events already
-        // reach the sink in index order — no capture machinery needed.
+        // Serial path: items run in index order, so their events and
+        // metric folds already reach the sinks in index order — no
+        // capture machinery needed.
         return (0..n).map(f).collect();
     }
-    if dcl_obs::is_enabled() {
-        // Deterministic merge: buffer each item's events on its worker
-        // thread, then replay the buffers in index order after the join.
-        // The stream ends up identical to the serial path's.
-        let pairs = par_map_core(threads, n, |i| dcl_obs::capture(|| f(i)));
+    if dcl_obs::is_enabled() || dcl_metrics::is_enabled() {
+        // Deterministic merge: buffer each item's events and metric folds
+        // on its worker thread, then replay both in index order after the
+        // join. The event stream and the metrics registry end up
+        // identical to the serial path's. Capturing for the disabled
+        // facility is free (its buffers stay empty), so one combined
+        // branch keeps the fast path to a pair of relaxed loads.
+        let triples = par_map_core(threads, n, |i| {
+            let ((value, events), shard) = dcl_metrics::capture(|| dcl_obs::capture(|| f(i)));
+            (value, events, shard)
+        });
         let mut out = Vec::with_capacity(n);
-        for (value, events) in pairs {
+        for (value, events, shard) in triples {
             dcl_obs::emit_batch(events);
+            dcl_metrics::merge(shard);
             out.push(value);
         }
         return out;
@@ -258,6 +266,22 @@ mod tests {
             .collect();
         let expected: Vec<_> = (0..16).map(|i| format!("item{i}")).collect();
         assert_eq!(names, expected, "merge must follow item index order");
+    }
+
+    #[test]
+    fn metric_folds_merge_in_index_order() {
+        let _ = dcl_metrics::finish();
+        dcl_metrics::set_enabled(true);
+        let _ = par_map_indexed(Some(4), 16, |i| {
+            dcl_metrics::counter("par.items", 1);
+            dcl_metrics::gauge("par.last", i as u64);
+            i
+        });
+        let snap = dcl_metrics::finish().expect("registry enabled");
+        assert_eq!(snap.counters["par.items"], 16);
+        // Last-write-wins gauges must resolve by item index, not by the
+        // worker schedule: the highest index always lands last.
+        assert_eq!(snap.gauges["par.last"], 15);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub use dcl_faults as faults;
 pub use dcl_hmm as hmm;
 pub use dcl_inet as inet;
 pub use dcl_losspair as losspair;
+pub use dcl_metrics as metrics;
 pub use dcl_mmhd as mmhd;
 pub use dcl_netsim as netsim;
 pub use dcl_obs as obs;

@@ -268,6 +268,77 @@ fn enabling_instrumentation_changes_no_identify_bit() {
     assert_identifications_identical(&on, &off, "obs on vs off");
 }
 
+use dominant_congested_links::metrics;
+
+/// The metrics tentpole guarantee: the registry snapshot of an
+/// instrumented `identify` run is bit-identical at every thread count.
+/// Counters, gauges, and histograms are compared exactly; span profiles
+/// are canonicalised (wall-clock fields zeroed, counts kept), mirroring
+/// the event-stream guarantee above.
+#[test]
+fn metrics_snapshot_bitwise_identical_at_every_thread_count() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let trace = dominant_trace(3_000);
+    let cfg = |parallelism| IdentifyConfig {
+        estimate_bound: false,
+        restarts: 3,
+        parallelism,
+        ..IdentifyConfig::default()
+    };
+
+    let mut runs = Vec::new();
+    for p in PARALLELISMS {
+        let _ = metrics::finish(); // clean slate, registry disabled
+        metrics::set_enabled(true);
+        let result = identify(&trace, &cfg(p)).expect("usable trace");
+        let snapshot = metrics::finish().expect("registry was enabled");
+        runs.push((p, result, snapshot.canonical()));
+    }
+
+    let (_, ref_result, ref_snapshot) = &runs[0];
+    assert!(!ref_snapshot.is_empty(), "instrumented run folded no metrics");
+    for key in ["identify.runs", "mmhd.em.restarts", "mmhd.em.iterations"] {
+        assert!(
+            ref_snapshot.counters.contains_key(key),
+            "no {key:?} counter in instrumented identify snapshot"
+        );
+    }
+    for (p, result, snapshot) in &runs[1..] {
+        assert_identifications_identical(
+            result,
+            ref_result,
+            &format!("metrics-instrumented identify at parallelism {p:?}"),
+        );
+        assert_eq!(
+            snapshot, ref_snapshot,
+            "canonical metrics snapshot differs at parallelism {p:?}"
+        );
+    }
+}
+
+/// Enabling the metrics registry must not change a single bit of the
+/// numeric output (folds are a pure tap on the computation).
+#[test]
+fn enabling_metrics_changes_no_identify_bit() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let trace = dominant_trace(3_000);
+    let cfg = IdentifyConfig {
+        estimate_bound: false,
+        restarts: 3,
+        parallelism: Some(2),
+        ..IdentifyConfig::default()
+    };
+
+    let _ = metrics::finish();
+    let off = identify(&trace, &cfg).expect("usable trace");
+    metrics::set_enabled(true);
+    let on = identify(&trace, &cfg).expect("usable trace");
+    let snapshot = metrics::finish().expect("registry was enabled");
+
+    assert!(!snapshot.is_empty(), "metrics-on run folded nothing");
+    assert_identifications_identical(&on, &off, "metrics on vs off");
+}
+
 /// The environment default also pins the inner EM parallelism: an
 /// `IdentifyConfig` with an explicit `parallelism` must thread it through
 /// to the estimator and still match the serial verdict.

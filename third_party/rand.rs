@@ -1,0 +1,401 @@
+//! Offline stand-in for the `rand` 0.8 API surface this workspace uses.
+//!
+//! Hermetic containers have no crates.io mirror and may lack the prebuilt
+//! third-party rlibs, so `scripts/offline_check.sh` compiles this crate in
+//! their place. The implementation is **bit-compatible** with rand 0.8 for
+//! every code path the workspace exercises: `SmallRng` is xoshiro256++
+//! seeded through SplitMix64, integer `gen_range` uses the widening
+//! multiply/zone rejection scheme, float sampling uses the 53-bit
+//! multiply method, and `gen_bool` uses the 64-bit fixed-point Bernoulli.
+//! The committed golden fixtures (`tests/golden/`) pin simulation outputs
+//! produced with the real crate, so any drift here fails the test suite.
+
+/// The raw generator interface.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type.
+    type Seed: Default + AsMut<[u8]>;
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+    /// Construct from a `u64` seed (generator-specific expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Sample a value via the `Standard` distribution.
+    #[inline]
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Sample uniformly from a half-open range.
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        use distributions::Distribution;
+        distributions::Bernoulli::new(p)
+            .expect("gen_bool: probability outside [0, 1]")
+            .sample(self)
+    }
+
+    /// Sample from an explicit distribution.
+    #[inline]
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Distributions (the subset of `rand::distributions` the workspace uses).
+pub mod distributions {
+    use super::Rng;
+
+    /// A sampling distribution over `T`.
+    pub trait Distribution<T> {
+        /// Draw one sample.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard (canonical-uniform) distribution.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    /// Uniform on `(0, 1]`, used by `rand_distr`'s inversion samplers.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct OpenClosed01;
+
+    impl Distribution<u64> for Standard {
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<u16> for Standard {
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u16 {
+            rng.next_u32() as u16
+        }
+    }
+
+    impl Distribution<u8> for Standard {
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u8 {
+            rng.next_u32() as u8
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        /// rand 0.8 compares the most significant bit of a `u32`.
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & (1 << 31) != 0
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        /// 53-bit multiply method on `[0, 1)`, exactly rand 0.8's.
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            let scale = 1.0 / ((1u64 << 53) as f64);
+            let value = rng.next_u64() >> 11;
+            scale * (value as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        /// 24-bit multiply method on `[0, 1)`.
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            let scale = 1.0 / ((1u32 << 24) as f32);
+            let value = rng.next_u32() >> 8;
+            scale * (value as f32)
+        }
+    }
+
+    impl Distribution<f64> for OpenClosed01 {
+        /// 53-bit multiply method on `(0, 1]`, exactly rand 0.8's.
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            let scale = 1.0 / ((1u64 << 53) as f64);
+            let value = rng.next_u64() >> 11;
+            scale * ((value + 1) as f64)
+        }
+    }
+
+    /// Fixed-point Bernoulli over 64 bits, exactly rand 0.8's.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Bernoulli {
+        p_int: u64,
+    }
+
+    const ALWAYS_TRUE: u64 = u64::MAX;
+    // 2^64 as f64 (the scale rand uses to convert p to fixed point).
+    const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+
+    /// Error for probabilities outside `[0, 1]`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct BernoulliError;
+
+    impl Bernoulli {
+        /// Construct for success probability `p` in `[0, 1]`.
+        #[inline]
+        pub fn new(p: f64) -> Result<Bernoulli, BernoulliError> {
+            if !(0.0..1.0).contains(&p) {
+                if p == 1.0 {
+                    return Ok(Bernoulli { p_int: ALWAYS_TRUE });
+                }
+                return Err(BernoulliError);
+            }
+            Ok(Bernoulli {
+                p_int: (p * SCALE) as u64,
+            })
+        }
+    }
+
+    impl Distribution<bool> for Bernoulli {
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            if self.p_int == ALWAYS_TRUE {
+                return true;
+            }
+            let v: u64 = rng.next_u64();
+            v < self.p_int
+        }
+    }
+
+    /// Uniform-range sampling (the subset of `rand::distributions::uniform`
+    /// that backs `Rng::gen_range`).
+    pub mod uniform {
+        use super::super::RngCore;
+
+        /// Types `gen_range` can sample.
+        pub trait SampleUniform: Sized {
+            /// Draw uniformly from `[low, high)`.
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        }
+
+        /// Range arguments `gen_range` accepts.
+        pub trait SampleRange<T> {
+            /// Draw one sample from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::Range<T> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "cannot sample empty range");
+                T::sample_single(self.start, self.end, rng)
+            }
+        }
+
+        #[inline]
+        fn wmul64(a: u64, b: u64) -> (u64, u64) {
+            let full = (a as u128) * (b as u128);
+            ((full >> 64) as u64, full as u64)
+        }
+
+        /// rand 0.8's `sample_single` for 64-bit unsigned integers:
+        /// widening multiply with zone rejection (unbiased).
+        #[inline]
+        fn sample_single_u64<R: RngCore + ?Sized>(low: u64, high: u64, rng: &mut R) -> u64 {
+            let range = high.wrapping_sub(low);
+            let zone = (range << range.leading_zeros()).wrapping_sub(1);
+            loop {
+                let v = rng.next_u64();
+                let (hi, lo) = wmul64(v, range);
+                if lo <= zone {
+                    return low.wrapping_add(hi);
+                }
+            }
+        }
+
+        impl SampleUniform for u64 {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(low: u64, high: u64, rng: &mut R) -> u64 {
+                sample_single_u64(low, high, rng)
+            }
+        }
+
+        impl SampleUniform for usize {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(low: usize, high: usize, rng: &mut R) -> usize {
+                sample_single_u64(low as u64, high as u64, rng) as usize
+            }
+        }
+
+        impl SampleUniform for u32 {
+            /// rand 0.8 widens 32-bit ranges to 32x32 multiplies; the
+            /// workspace only draws `usize`/`u64`/float ranges, so this
+            /// path exists for completeness.
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(low: u32, high: u32, rng: &mut R) -> u32 {
+                let range = high.wrapping_sub(low);
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u32();
+                    let full = (v as u64) * (range as u64);
+                    let (hi, lo) = ((full >> 32) as u32, full as u32);
+                    if lo <= zone {
+                        return low.wrapping_add(hi);
+                    }
+                }
+            }
+        }
+
+        impl SampleUniform for i32 {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(low: i32, high: i32, rng: &mut R) -> i32 {
+                let ulow = (low as u32) ^ 0x8000_0000;
+                let uhigh = (high as u32) ^ 0x8000_0000;
+                (u32::sample_single(ulow, uhigh, rng) ^ 0x8000_0000) as i32
+            }
+        }
+
+        impl SampleUniform for f64 {
+            /// rand 0.8's float `sample_single`: a value in `[1, 2)` from
+            /// 52 mantissa bits, shifted into `[low, high)` with a
+            /// multiply-add; rare boundary hits retry.
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+                let mut scale = high - low;
+                loop {
+                    let fraction = rng.next_u64() >> 12;
+                    let value1_2 = f64::from_bits((1023u64 << 52) | fraction);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                    // Boundary hit: shrink `scale` one ulp before redrawing,
+                    // exactly as rand 0.8 does.
+                    scale = f64::from_bits(scale.to_bits() - 1);
+                }
+            }
+        }
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// rand 0.8's small fast generator: xoshiro256++ on 64-bit targets.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            // Upper bits: the low bits of xoshiro256++ have weaker
+            // linear-complexity properties.
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            if seed.iter().all(|&x| x == 0) {
+                return Self::seed_from_u64(0);
+            }
+            let mut s = [0u64; 4];
+            for (word, chunk) in s.iter_mut().zip(seed.chunks(8)) {
+                *word = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            SmallRng { s }
+        }
+
+        /// SplitMix64 seed expansion, exactly xoshiro's reference (and
+        /// rand 0.8's override for this generator).
+        fn seed_from_u64(mut state: u64) -> Self {
+            const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+            let mut seed = [0u8; 32];
+            for chunk in seed.chunks_mut(8) {
+                state = state.wrapping_add(PHI);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                chunk.copy_from_slice(&z.to_le_bytes());
+            }
+            Self::from_seed(seed)
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Offline stand-in for the `rand_distr` 0.4 API surface this workspace
+//! uses: the `Distribution` trait re-export and the Pareto distribution
+//! (TCP session sizes). Sampling is bit-compatible with the real crate:
+//! Pareto inverts an `OpenClosed01` draw with `scale * u^(-1/shape)`.
+
+pub use rand::distributions::Distribution;
+
+use rand::distributions::OpenClosed01;
+use rand::Rng;
+
+/// The Pareto (power-law) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    inv_neg_shape: f64,
+}
+
+/// Construction errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// `scale <= 0` (or NaN).
+    ScaleTooSmall,
+    /// `shape <= 0` (or NaN).
+    ShapeTooSmall,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::ScaleTooSmall => write!(f, "scale is not positive"),
+            Error::ShapeTooSmall => write!(f, "shape is not positive"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Pareto {
+    /// Construct with the given scale (minimum value) and shape.
+    pub fn new(scale: f64, shape: f64) -> Result<Pareto, Error> {
+        if !(scale > 0.0) {
+            return Err(Error::ScaleTooSmall);
+        }
+        if !(shape > 0.0) {
+            return Err(Error::ShapeTooSmall);
+        }
+        Ok(Pareto {
+            scale,
+            inv_neg_shape: -1.0 / shape,
+        })
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = OpenClosed01.sample(rng);
+        self.scale * u.powf(self.inv_neg_shape)
+    }
+}

@@ -1,0 +1,394 @@
+//! Offline stand-in for the vendored `serde_derive` shim: derives the
+//! workspace's value-tree `Serialize`/`Deserialize` traits (see the
+//! `serde` shim) for the shapes the codebase actually uses — named
+//! structs, tuple structs (one-field newtypes are transparent, wider
+//! ones become arrays), and externally-tagged enums (unit variants as
+//! strings, payload variants as single-key objects).
+//!
+//! Implemented directly on `proc_macro::TokenTree` — no syn/quote — by
+//! parsing the item shape and emitting impl source as a string.
+
+extern crate proc_macro;
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Item::serialize_impl)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Item::deserialize_impl)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match Item::parse(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive: bad expansion: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// What a variant carries.
+enum Payload {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: Option<&TokenTree>, ch: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+fn is_group(t: Option<&TokenTree>, delim: Delimiter) -> bool {
+    matches!(t, Some(TokenTree::Group(g)) if g.delimiter() == delim)
+}
+
+/// Advance past `#[...]` attributes (incl. doc comments) and `pub` /
+/// `pub(...)` visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        if is_punct(toks.get(*i), '#') && is_group(toks.get(*i + 1), Delimiter::Bracket) {
+            *i += 2;
+        } else if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            *i += 1;
+            if is_group(toks.get(*i), Delimiter::Parenthesis) {
+                *i += 1;
+            }
+        } else {
+            return;
+        }
+    }
+}
+
+/// Split a field/variant body on top-level commas, treating `<`/`>` as
+/// nesting (generic arguments contain visible commas; everything inside
+/// parens/brackets/braces is already hidden in a single `Group` token).
+/// Returns the non-empty segments.
+fn split_top_level_commas(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Field names of a `{ ... }` body (named struct or struct variant).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    for seg in split_top_level_commas(&toks) {
+        let mut i = 0;
+        skip_attrs_and_vis(&seg, &mut i);
+        match seg.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => return Err(format!("serde_derive: expected field name, found {other:?}")),
+        }
+        if !is_punct(seg.get(i + 1), ':') {
+            return Err("serde_derive: expected `:` after field name".to_string());
+        }
+    }
+    Ok(fields)
+}
+
+/// Arity of a `( ... )` body (tuple struct or tuple variant).
+fn parse_tuple_arity(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    split_top_level_commas(&toks).len()
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    for seg in split_top_level_commas(&toks) {
+        let mut i = 0;
+        skip_attrs_and_vis(&seg, &mut i);
+        let name = match seg.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("serde_derive: expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let payload = match seg.get(i) {
+            None => Payload::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Payload::Tuple(parse_tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Payload::Struct(parse_named_fields(g.stream())?)
+            }
+            other => {
+                return Err(format!(
+                    "serde_derive: unsupported variant body for {name}: {other:?}"
+                ))
+            }
+        };
+        variants.push(Variant { name, payload });
+    }
+    Ok(variants)
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Result<Item, String> {
+        let toks: Vec<TokenTree> = input.into_iter().collect();
+        let mut i = 0;
+        skip_attrs_and_vis(&toks, &mut i);
+        let kw = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("serde_derive: expected item keyword, found {other:?}")),
+        };
+        i += 1;
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("serde_derive: expected item name, found {other:?}")),
+        };
+        i += 1;
+        if is_punct(toks.get(i), '<') {
+            return Err(format!(
+                "serde_derive: generic type {name} is not supported by the offline shim"
+            ));
+        }
+        let shape = match (kw.as_str(), toks.get(i)) {
+            ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+                match parse_tuple_arity(g.stream()) {
+                    0 => Shape::UnitStruct,
+                    n => Shape::TupleStruct(n),
+                }
+            }
+            ("struct", t) if t.is_none() || is_punct(t, ';') => Shape::UnitStruct,
+            ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            (kw, _) => {
+                return Err(format!(
+                    "serde_derive: unsupported item shape `{kw} {name}`"
+                ))
+            }
+        };
+        Ok(Item { name, shape })
+    }
+
+    // -----------------------------------------------------------------------
+    // Codegen
+    // -----------------------------------------------------------------------
+
+    fn serialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.shape {
+            Shape::NamedStruct(fields) => {
+                let mut s = String::from("let mut __m = ::serde::Map::new();\n");
+                for f in fields {
+                    s.push_str(&format!(
+                        "__m.insert(String::from({f:?}), ::serde::Serialize::to_value(&self.{f}));\n"
+                    ));
+                }
+                s.push_str("::serde::Value::Object(__m)");
+                s
+            }
+            // One-field tuple structs are transparent newtypes on the wire.
+            Shape::TupleStruct(1) => String::from("::serde::Serialize::to_value(&self.0)"),
+            Shape::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+            Shape::UnitStruct => String::from("::serde::Value::Null"),
+            Shape::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.payload {
+                        Payload::Unit => arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::String(String::from({vn:?})),\n"
+                        )),
+                        Payload::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                            };
+                            arms.push_str(&format!(
+                                "{name}::{vn}({binds}) => {{\n\
+                                 let mut __m = ::serde::Map::new();\n\
+                                 __m.insert(String::from({vn:?}), {payload});\n\
+                                 ::serde::Value::Object(__m)\n}}\n",
+                                binds = binds.join(", ")
+                            ));
+                        }
+                        Payload::Struct(fields) => {
+                            let mut inner = String::from("let mut __inner = ::serde::Map::new();\n");
+                            for f in fields {
+                                inner.push_str(&format!(
+                                    "__inner.insert(String::from({f:?}), ::serde::Serialize::to_value({f}));\n"
+                                ));
+                            }
+                            arms.push_str(&format!(
+                                "{name}::{vn} {{ {fields} }} => {{\n{inner}\
+                                 let mut __m = ::serde::Map::new();\n\
+                                 __m.insert(String::from({vn:?}), ::serde::Value::Object(__inner));\n\
+                                 ::serde::Value::Object(__m)\n}}\n",
+                                fields = fields.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        };
+        format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+        )
+    }
+
+    fn deserialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.shape {
+            Shape::NamedStruct(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    inits.push_str(&format!(
+                        "{f}: ::serde::Deserialize::from_value(__m.get({f:?}).unwrap_or(&::serde::Value::Null))?,\n"
+                    ));
+                }
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::Object(__m) => Ok({name} {{\n{inits}}}),\n\
+                     _ => Err(::serde::DeError::new(\"expected an object for {name}\")),\n}}"
+                )
+            }
+            Shape::TupleStruct(1) => {
+                format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            Shape::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                    .collect();
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::Array(__items) if __items.len() == {n} => \
+                     Ok({name}({items})),\n\
+                     _ => Err(::serde::DeError::new(\"expected a {n}-element array for {name}\")),\n}}",
+                    items = items.join(", ")
+                )
+            }
+            Shape::UnitStruct => format!(
+                "match __v {{\n\
+                 ::serde::Value::Null => Ok({name}),\n\
+                 _ => Err(::serde::DeError::new(\"expected null for unit struct {name}\")),\n}}"
+            ),
+            Shape::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut payload_checks = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.payload {
+                        Payload::Unit => unit_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n")),
+                        Payload::Tuple(1) => payload_checks.push_str(&format!(
+                            "if let Some(__p) = __m.get({vn:?}) {{\n\
+                             return Ok({name}::{vn}(::serde::Deserialize::from_value(__p)?));\n}}\n"
+                        )),
+                        Payload::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                                .collect();
+                            payload_checks.push_str(&format!(
+                                "if let Some(__p) = __m.get({vn:?}) {{\n\
+                                 return match __p {{\n\
+                                 ::serde::Value::Array(__items) if __items.len() == {n} => \
+                                 Ok({name}::{vn}({items})),\n\
+                                 _ => Err(::serde::DeError::new(\"expected a {n}-element array for variant {vn} of {name}\")),\n\
+                                 }};\n}}\n",
+                                items = items.join(", ")
+                            ));
+                        }
+                        Payload::Struct(fields) => {
+                            let mut inits = String::new();
+                            for f in fields {
+                                inits.push_str(&format!(
+                                    "{f}: ::serde::Deserialize::from_value(__im.get({f:?}).unwrap_or(&::serde::Value::Null))?,\n"
+                                ));
+                            }
+                            payload_checks.push_str(&format!(
+                                "if let Some(__p) = __m.get({vn:?}) {{\n\
+                                 return match __p {{\n\
+                                 ::serde::Value::Object(__im) => Ok({name}::{vn} {{\n{inits}}}),\n\
+                                 _ => Err(::serde::DeError::new(\"expected an object for variant {vn} of {name}\")),\n\
+                                 }};\n}}\n"
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     _ => Err(::serde::DeError::new(\"unknown variant for {name}\")),\n\
+                     }},\n\
+                     ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                     {payload_checks}\
+                     Err(::serde::DeError::new(\"unknown variant for {name}\"))\n\
+                     }},\n\
+                     _ => Err(::serde::DeError::new(\"expected a string or single-key object for enum {name}\")),\n}}"
+                )
+            }
+        };
+        format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> Result<{name}, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+        )
+    }
+}

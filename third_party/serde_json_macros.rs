@@ -1,0 +1,106 @@
+//! Offline stand-in for the `json!` proc-macro re-exported by the
+//! `serde_json` shim. Supports the grammar the workspace uses: object
+//! literals with string-literal keys, nested array/object literals,
+//! `null`, and arbitrary Rust expressions as values (serialised via
+//! `::serde_json::__to_value`). Insertion order of object keys is
+//! preserved — that ordering is pinned by committed golden fixtures.
+
+extern crate proc_macro;
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro]
+pub fn json(input: TokenStream) -> TokenStream {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    match build_value(&toks) {
+        Ok(expr) => expr
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("json!: bad expansion: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Split on top-level commas (commas nested in `(...)`/`[...]`/`{...}`
+/// are hidden inside `Group` tokens). Returns non-empty segments, which
+/// also handles trailing commas.
+fn split_top_level_commas(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    for t in toks {
+        if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+        } else {
+            cur.push(t.clone());
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn tokens_to_expr(toks: &[TokenTree]) -> String {
+    let stream: TokenStream = toks.iter().cloned().collect();
+    stream.to_string()
+}
+
+fn build_value(toks: &[TokenTree]) -> Result<String, String> {
+    match toks {
+        [] => Err("json!: empty input".to_string()),
+        [TokenTree::Group(g)] if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut src = String::from("{ let mut __m = ::serde_json::Map::new();\n");
+            for entry in split_top_level_commas(&body) {
+                let (key, value) = parse_entry(&entry)?;
+                src.push_str(&format!(
+                    "__m.insert(String::from({key}), {value});\n"
+                ));
+            }
+            src.push_str("::serde_json::Value::Object(__m) }");
+            Ok(src)
+        }
+        [TokenTree::Group(g)] if g.delimiter() == Delimiter::Bracket => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            let items: Vec<String> = split_top_level_commas(&body)
+                .iter()
+                .map(|seg| build_value(seg))
+                .collect::<Result<_, _>>()?;
+            Ok(format!(
+                "::serde_json::Value::Array(vec![{}])",
+                items.join(", ")
+            ))
+        }
+        [TokenTree::Ident(id)] if id.to_string() == "null" => {
+            Ok("::serde_json::Value::Null".to_string())
+        }
+        expr => Ok(format!(
+            "::serde_json::__to_value(&({}))",
+            tokens_to_expr(expr)
+        )),
+    }
+}
+
+/// One `"key": value` object entry.
+fn parse_entry(toks: &[TokenTree]) -> Result<(String, String), String> {
+    let key = match toks.first() {
+        Some(TokenTree::Literal(lit)) => {
+            let s = lit.to_string();
+            if !s.starts_with('"') {
+                return Err(format!("json!: object key must be a string literal, got {s}"));
+            }
+            s
+        }
+        other => return Err(format!("json!: expected string key, found {other:?}")),
+    };
+    if !matches!(toks.get(1), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+        return Err("json!: expected `:` after object key".to_string());
+    }
+    let value = build_value(&toks[2..])?;
+    Ok((key, value))
+}
