@@ -13,10 +13,13 @@
 #   4. the robustness job: the end-to-end no-panic/no-NaN property suite
 #      plus a seeded fault-injection smoke sweep whose artifact must
 #      contain fault-injection events;
-#   5. the perf-trajectory job: the `perf --quick` benchmark regenerates
+#   5. the streaming job: the batch-equivalence + chunking-invariance
+#      suites, then a quick migrating-DCL replay whose artifact must
+#      contain verdict-transition events;
+#   6. the perf-trajectory job: the `perf --quick` benchmark regenerates
 #      BENCH_perf.json at the repo root and both the report and a
 #      `--metrics` snapshot must pass the schema validators;
-#   6. clippy with warnings denied on the crates this layer touches.
+#   7. clippy with warnings denied on the crates this layer touches.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -48,9 +51,16 @@ trap 'rm -f "$OBS_ARTIFACT" "$FAULT_ARTIFACT"' EXIT
 cargo run --release -q -p dcl-bench --bin robustness -- --quick --obs "$FAULT_ARTIFACT"
 cargo run --release -q -p dcl-bench --bin obs_check -- "$FAULT_ARTIFACT" 1
 
+echo "== streaming: equivalence + invariance suites + migrating-DCL smoke"
+cargo test -q --test streaming_equivalence --test streaming_proptests
+STREAM_ARTIFACT=$(mktemp -t dcl-stream-smoke.XXXXXX.jsonl)
+trap 'rm -f "$OBS_ARTIFACT" "$FAULT_ARTIFACT" "$STREAM_ARTIFACT"' EXIT
+cargo run --release -q -p dcl-bench --bin streaming -- --quick --obs "$STREAM_ARTIFACT"
+cargo run --release -q -p dcl-bench --bin obs_check -- "$STREAM_ARTIFACT" 3
+
 echo "== perf trajectory: regenerate BENCH_perf.json + validate artifacts"
 METRICS_ARTIFACT=$(mktemp -t dcl-metrics-smoke.XXXXXX.json)
-trap 'rm -f "$OBS_ARTIFACT" "$FAULT_ARTIFACT" "$METRICS_ARTIFACT"' EXIT
+trap 'rm -f "$OBS_ARTIFACT" "$FAULT_ARTIFACT" "$STREAM_ARTIFACT" "$METRICS_ARTIFACT"' EXIT
 cargo run --release -q -p dcl-bench --bin perf -- --quick --out BENCH_perf.json \
   --metrics "$METRICS_ARTIFACT"
 cargo run --release -q -p dcl-bench --bin obs_check -- --perf BENCH_perf.json

@@ -191,6 +191,7 @@ const PERF_NUMBERS: &[&str] = &[
     "probes_per_sec",
     "em_iterations_per_sec",
     "sweep_cells_per_sec",
+    "windows_per_sec",
 ];
 
 /// Numeric field check shared by the report root and its phases: present,

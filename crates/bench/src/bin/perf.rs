@@ -1,11 +1,12 @@
 //! **perf** — the performance-trajectory benchmark.
 //!
 //! Runs a fixed ladder of scenarios through the full pipeline — simulate,
-//! identify, duration-sweep — with the `dcl_metrics` registry enabled,
-//! and emits a schema-versioned JSON report (`BENCH_perf.json` by
-//! default) capturing the throughput of each phase: probes simulated per
-//! second, EM iterations per second, sweep cells per second, wall time
-//! per phase, peak RSS, and the full metrics snapshot. Committing the
+//! identify, duration-sweep, streaming replay — with the `dcl_metrics`
+//! registry enabled, and emits a schema-versioned JSON report
+//! (`BENCH_perf.json` by default) capturing the throughput of each phase:
+//! probes simulated per second, EM iterations per second, sweep cells per
+//! second, streaming windows per second, wall time per phase, peak RSS,
+//! and the full metrics snapshot. Committing the
 //! artifact at the repo root gives the project a perf trajectory:
 //! successive PRs regenerate it and the diff shows the drift.
 //!
@@ -23,6 +24,7 @@ use std::time::Instant;
 use dcl_bench::{no_dcl_setting, strongly_setting, weakly_setting, NsSetting, WARMUP_SECS};
 use dcl_core::identify::{identify, IdentifyConfig};
 use dcl_core::sweep::{duration_sweep, SweepConfig};
+use dcl_core::{StreamConfig, StreamingIdentifier, WindowSpec};
 use dcl_netsim::trace::ProbeTrace;
 use serde::Serialize;
 
@@ -51,6 +53,7 @@ struct PerfReport {
     probes_per_sec: f64,
     em_iterations_per_sec: f64,
     sweep_cells_per_sec: f64,
+    windows_per_sec: f64,
     metrics: dcl_metrics::Snapshot,
 }
 
@@ -183,12 +186,29 @@ fn main() {
     };
     let _ = duration_sweep(&traces[0], &sweep_cfg);
     let sweep_wall = t.elapsed().as_nanos() as u64;
+
+    // Phase 4: streaming identification over the strongly dominant trace.
+    eprintln!("perf: streaming...");
+    let t = Instant::now();
+    let stream_cfg = StreamConfig {
+        window: WindowSpec::Count(if quick { 800 } else { 2000 }),
+        hop: if quick { 400 } else { 1000 },
+        warm_start: true,
+        identify: IdentifyConfig {
+            restarts: 2,
+            estimate_bound: false,
+            ..IdentifyConfig::default()
+        },
+    };
+    let windows = StreamingIdentifier::run_trace(&traces[0], stream_cfg).len() as u64;
+    let stream_wall = t.elapsed().as_nanos() as u64;
     let total_wall = started.elapsed().as_nanos() as u64;
 
     let snapshot = dcl_metrics::snapshot();
     let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
     let sweep_cells = counter("sweep.cells");
     phases.push(phase_report("sweep", sweep_wall, sweep_cells));
+    phases.push(phase_report("stream", stream_wall, windows));
 
     let em_iters = counter("hmm.em.iterations") + counter("mmhd.em.iterations");
     let fit_secs = (identify_wall + sweep_wall) as f64 / 1e9;
@@ -202,6 +222,7 @@ fn main() {
         probes_per_sec: probes as f64 / (sim_wall as f64 / 1e9).max(1e-9),
         em_iterations_per_sec: em_iters as f64 / fit_secs.max(1e-9),
         sweep_cells_per_sec: sweep_cells as f64 / (sweep_wall as f64 / 1e9).max(1e-9),
+        windows_per_sec: windows as f64 / (stream_wall as f64 / 1e9).max(1e-9),
         phases,
         metrics: snapshot,
     };
@@ -212,11 +233,12 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!(
-        "perf: {:.1} s total, {:.0} probes/s, {:.0} EM iters/s, {:.1} cells/s",
+        "perf: {:.1} s total, {:.0} probes/s, {:.0} EM iters/s, {:.1} cells/s, {:.2} windows/s",
         total_wall as f64 / 1e9,
         report.probes_per_sec,
         report.em_iterations_per_sec,
         report.sweep_cells_per_sec,
+        report.windows_per_sec,
     );
     println!("{out_path}");
 }

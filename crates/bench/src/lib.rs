@@ -15,5 +15,6 @@ pub mod settings;
 
 pub use report::{print_header, print_pmf_rows, print_row, ExperimentLog};
 pub use settings::{
-    no_dcl_setting, strongly_setting, weakly_setting, NsSetting, MEASURE_SECS, WARMUP_SECS,
+    migrating_phases, migrating_trace, no_dcl_setting, strongly_setting, weakly_setting, NsSetting,
+    MEASURE_SECS, WARMUP_SECS,
 };

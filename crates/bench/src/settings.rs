@@ -31,7 +31,8 @@
 
 use dcl_netsim::probe::ProbePattern;
 use dcl_netsim::scenarios::{HopSpec, PathScenario, PathScenarioConfig, TrafficMix, UdpCross};
-use dcl_netsim::time::Dur;
+use dcl_netsim::sim::ProbeRecord;
+use dcl_netsim::time::{Dur, Time};
 use dcl_netsim::trace::ProbeTrace;
 
 /// Warm-up before measurements start (seconds).
@@ -228,9 +229,77 @@ pub fn no_dcl_setting(hop1_bps: u64, hop3_bps: u64, seed: u64) -> NsSetting {
     }
 }
 
+/// The phase sequence of [`migrating_trace`]: a dominant congested link
+/// that appears, moves to a different delay regime, then clears.
+///
+/// 1. strongly dominant at hop 1 with `Q_1 = 160 ms` (10 Mb/s, 200 kB);
+/// 2. strongly dominant at hop 1 with `Q_1 = 800 ms` (2 Mb/s, 200 kB) —
+///    same hop, but a 5x deeper queue, i.e. a different delay regime;
+/// 3. no dominant link (hops 1 and 3 lose at comparable rates).
+pub fn migrating_phases(seed: u64) -> Vec<NsSetting> {
+    vec![
+        strongly_setting(10_000_000, seed),
+        strongly_setting(2_000_000, seed ^ 0xA5A5),
+        no_dcl_setting(1_000_000, 2_000_000, seed ^ 0x5A5A),
+    ]
+}
+
+/// A single probe trace whose dominant congested link *migrates* mid-run
+/// — the replay scenario for the streaming engine.
+///
+/// The simulator cannot change a link's bandwidth mid-run, so the trace
+/// is assembled from the [`migrating_phases`] settings run back to back
+/// (`phase_secs` of measurement each, after the usual warm-up):
+/// each phase's records are re-stamped onto one continuous 20 ms probe
+/// clock (sequence numbers renumbered, send times shifted, one-way
+/// delays preserved exactly). The result is deterministic in `seed` and
+/// bitwise independent of the thread count (phases simulate in parallel
+/// but concatenate in phase order).
+pub fn migrating_trace(seed: u64, phase_secs: f64) -> ProbeTrace {
+    let phases = migrating_phases(seed);
+    let traces = dcl_parallel::par_map(None, &phases, |setting| {
+        setting.run(WARMUP_SECS, phase_secs).0
+    });
+    let interval = Dur::from_millis(20.0);
+    let mut records: Vec<ProbeRecord> = Vec::new();
+    let mut seq = 0u64;
+    for trace in &traces {
+        for r in &trace.records {
+            let sent = Time::ZERO + interval * seq;
+            let mut stamp = r.stamp.clone();
+            stamp.seq = seq;
+            stamp.sent_at = sent;
+            let arrival = r.owd().map(|owd| sent + owd);
+            records.push(ProbeRecord { stamp, arrival });
+            seq += 1;
+        }
+    }
+    let base_delay = traces
+        .first()
+        .map_or(Dur::ZERO, |t| t.base_delay);
+    ProbeTrace {
+        records,
+        base_delay,
+        interval,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn migrating_trace_concatenates_phases_on_one_probe_clock() {
+        let trace = migrating_trace(0xD1CE, 20.0);
+        // Three phases of ~20 s at 20 ms spacing.
+        assert!(trace.len() > 2500, "{} records", trace.len());
+        // Continuous renumbering and a uniform send clock.
+        for (i, r) in trace.records.iter().enumerate() {
+            assert_eq!(r.stamp.seq, i as u64);
+            assert_eq!(r.stamp.sent_at, Time::ZERO + trace.interval * i as u64);
+        }
+        assert!(trace.loss_rate() > 0.0, "phases must contribute losses");
+    }
 
     #[test]
     fn strongly_setting_loses_only_at_hop1() {

@@ -65,6 +65,17 @@ fn check_pmf(pmf: Option<Pmf>) -> Result<Pmf, EstimateError> {
     }
 }
 
+/// Fitted model parameters retained between windows so the streaming
+/// engine can warm-start the next fit (`crate::stream`). Tagged by model
+/// family: warm state from one family never seeds the other.
+#[derive(Debug, Clone)]
+pub(crate) enum FittedModel {
+    /// Parameters of a fitted [`HmmEstimator`] model.
+    Hmm(dcl_hmm::Hmm),
+    /// Parameters of a fitted [`MmhdEstimator`] model.
+    Mmhd(dcl_mmhd::Mmhd),
+}
+
 /// Ground truth from the simulator's virtual probes.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GroundTruth;
@@ -132,12 +143,17 @@ impl Default for HmmEstimator {
     }
 }
 
-impl VqdEstimator for HmmEstimator {
-    fn name(&self) -> &'static str {
-        "hmm"
-    }
-
-    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Result<Pmf, EstimateError> {
+impl HmmEstimator {
+    /// [`VqdEstimator::estimate`] that also returns the fitted model (for
+    /// warm-starting a subsequent window) and optionally warm-starts from
+    /// a previous fit. `warm: None` is the exact cold path used by the
+    /// trait method — bit-for-bit.
+    pub(crate) fn estimate_fitted(
+        &self,
+        trace: &ProbeTrace,
+        disc: &Discretizer,
+        warm: Option<&dcl_hmm::Hmm>,
+    ) -> Result<(Pmf, dcl_hmm::Hmm), EstimateError> {
         let obs = disc.observations(trace);
         if obs.is_empty() {
             return Err(EstimateError::NoData);
@@ -145,22 +161,34 @@ impl VqdEstimator for HmmEstimator {
         if !obs.iter().any(|o| o.is_loss()) {
             return Err(EstimateError::NoLosses);
         }
-        let fit = dcl_hmm::try_fit(
-            &obs,
-            &dcl_hmm::EmOptions {
-                num_states: self.num_states,
-                num_symbols: disc.num_symbols(),
-                tol: self.tol,
-                max_iters: self.max_iters,
-                seed: self.seed,
-                restarts: self.restarts,
-                restrict_loss_to_observed: true,
-                parallelism: self.parallelism,
-                guard_retries: 2,
-            },
-        )
+        let opts = dcl_hmm::EmOptions {
+            num_states: self.num_states,
+            num_symbols: disc.num_symbols(),
+            tol: self.tol,
+            max_iters: self.max_iters,
+            seed: self.seed,
+            restarts: self.restarts,
+            restrict_loss_to_observed: true,
+            parallelism: self.parallelism,
+            guard_retries: 2,
+        };
+        let fit = match warm {
+            Some(init) => dcl_hmm::fit_warm(&obs, &opts, init),
+            None => dcl_hmm::try_fit(&obs, &opts),
+        }
         .map_err(EstimateError::Fit)?;
-        check_pmf(fit.model.loss_delay_pmf(&obs))
+        let pmf = check_pmf(fit.model.loss_delay_pmf(&obs))?;
+        Ok((pmf, fit.model))
+    }
+}
+
+impl VqdEstimator for HmmEstimator {
+    fn name(&self) -> &'static str {
+        "hmm"
+    }
+
+    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Result<Pmf, EstimateError> {
+        self.estimate_fitted(trace, disc, None).map(|(pmf, _)| pmf)
     }
 }
 
@@ -205,12 +233,17 @@ impl Default for MmhdEstimator {
     }
 }
 
-impl VqdEstimator for MmhdEstimator {
-    fn name(&self) -> &'static str {
-        "mmhd"
-    }
-
-    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Result<Pmf, EstimateError> {
+impl MmhdEstimator {
+    /// [`VqdEstimator::estimate`] that also returns the fitted model (for
+    /// warm-starting a subsequent window) and optionally warm-starts from
+    /// a previous fit. `warm: None` is the exact cold path used by the
+    /// trait method — bit-for-bit.
+    pub(crate) fn estimate_fitted(
+        &self,
+        trace: &ProbeTrace,
+        disc: &Discretizer,
+        warm: Option<&dcl_mmhd::Mmhd>,
+    ) -> Result<(Pmf, dcl_mmhd::Mmhd), EstimateError> {
         let obs = disc.observations(trace);
         if obs.is_empty() {
             return Err(EstimateError::NoData);
@@ -218,24 +251,36 @@ impl VqdEstimator for MmhdEstimator {
         if !obs.iter().any(|o| o.is_loss()) {
             return Err(EstimateError::NoLosses);
         }
-        let fit = dcl_mmhd::try_fit(
-            &obs,
-            &dcl_mmhd::EmOptions {
-                num_hidden: self.num_hidden,
-                num_symbols: disc.num_symbols(),
-                tol: self.tol,
-                max_iters: self.max_iters,
-                seed: self.seed,
-                restarts: self.restarts,
-                restrict_loss_to_observed: true,
-                empirical_init: self.empirical_init,
-                tied_loss: self.tied_loss,
-                parallelism: self.parallelism,
-                guard_retries: 2,
-            },
-        )
+        let opts = dcl_mmhd::EmOptions {
+            num_hidden: self.num_hidden,
+            num_symbols: disc.num_symbols(),
+            tol: self.tol,
+            max_iters: self.max_iters,
+            seed: self.seed,
+            restarts: self.restarts,
+            restrict_loss_to_observed: true,
+            empirical_init: self.empirical_init,
+            tied_loss: self.tied_loss,
+            parallelism: self.parallelism,
+            guard_retries: 2,
+        };
+        let fit = match warm {
+            Some(init) => dcl_mmhd::fit_warm(&obs, &opts, init),
+            None => dcl_mmhd::try_fit(&obs, &opts),
+        }
         .map_err(EstimateError::Fit)?;
-        check_pmf(fit.model.loss_delay_pmf(&obs))
+        let pmf = check_pmf(fit.model.loss_delay_pmf(&obs))?;
+        Ok((pmf, fit.model))
+    }
+}
+
+impl VqdEstimator for MmhdEstimator {
+    fn name(&self) -> &'static str {
+        "mmhd"
+    }
+
+    fn estimate(&self, trace: &ProbeTrace, disc: &Discretizer) -> Result<Pmf, EstimateError> {
+        self.estimate_fitted(trace, disc, None).map(|(pmf, _)| pmf)
     }
 }
 

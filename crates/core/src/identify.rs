@@ -9,7 +9,7 @@
 
 use crate::bound::{heuristic_upper_bound, upper_bound_from_cdf, HeuristicParams};
 use crate::discretize::Discretizer;
-use crate::estimators::{EstimateError, HmmEstimator, MmhdEstimator, VqdEstimator};
+use crate::estimators::{EstimateError, FittedModel, HmmEstimator, MmhdEstimator, VqdEstimator};
 use crate::hyptest::{sdcl_test, wdcl_test, TestOutcome, WdclParams};
 use dcl_netsim::time::Dur;
 use dcl_netsim::trace::{ProbeTrace, TraceSanitation};
@@ -287,6 +287,53 @@ fn estimate_error(e: EstimateError) -> IdentifyError {
     }
 }
 
+/// Run the coarse (identification) fit, dispatching on the model choice
+/// and optionally warm-starting from a previous window's parameters. The
+/// warm model is used only when its family matches the configuration —
+/// warm state from a different family is silently ignored (cold start).
+fn estimate_with_model(
+    trace: &ProbeTrace,
+    disc: &Discretizer,
+    cfg: &IdentifyConfig,
+    warm: Option<&FittedModel>,
+) -> Result<(Pmf, FittedModel), EstimateError> {
+    match cfg.model {
+        ModelKind::Mmhd { num_hidden } => {
+            let est = MmhdEstimator {
+                num_hidden,
+                tol: cfg.em_tol,
+                max_iters: cfg.em_max_iters,
+                seed: cfg.seed,
+                restarts: cfg.restarts,
+                parallelism: cfg.parallelism,
+                ..MmhdEstimator::default()
+            };
+            let init = match warm {
+                Some(FittedModel::Mmhd(m)) => Some(m),
+                _ => None,
+            };
+            let (pmf, model) = est.estimate_fitted(trace, disc, init)?;
+            Ok((pmf, FittedModel::Mmhd(model)))
+        }
+        ModelKind::Hmm { num_states } => {
+            let est = HmmEstimator {
+                num_states,
+                tol: cfg.em_tol,
+                max_iters: cfg.em_max_iters,
+                seed: cfg.seed,
+                restarts: cfg.restarts,
+                parallelism: cfg.parallelism,
+            };
+            let init = match warm {
+                Some(FittedModel::Hmm(m)) => Some(m),
+                _ => None,
+            };
+            let (pmf, model) = est.estimate_fitted(trace, disc, init)?;
+            Ok((pmf, FittedModel::Hmm(model)))
+        }
+    }
+}
+
 /// Run the full pipeline on a probe trace.
 ///
 /// Malformed traces are sanitised first (re-sorted, duplicates and
@@ -295,6 +342,22 @@ fn estimate_error(e: EstimateError) -> IdentifyError {
 /// sanitisation bitwise untouched, so clean-trace results are identical
 /// to the unsanitised pipeline.
 pub fn identify(trace: &ProbeTrace, cfg: &IdentifyConfig) -> Result<Identification, IdentifyError> {
+    identify_fitted(trace, cfg, None).map(|(report, _)| report)
+}
+
+/// [`identify`] extended for the streaming engine: optionally warm-starts
+/// the coarse fit from a previous window's parameters and returns the
+/// fitted model alongside the report so the next window can reuse it.
+///
+/// With `warm: None` this *is* the batch pipeline — [`identify`] is a
+/// thin wrapper — so a full-trace streaming window is bit-identical to
+/// batch by construction. The fine (bound) fit always cold-starts: its
+/// discretisation differs, so warm state cannot seed it.
+pub(crate) fn identify_fitted(
+    trace: &ProbeTrace,
+    cfg: &IdentifyConfig,
+    warm: Option<&FittedModel>,
+) -> Result<(Identification, FittedModel), IdentifyError> {
     let _span = dcl_obs::span("identify");
     if trace.is_empty() {
         return Err(IdentifyError::EmptyTrace);
@@ -328,10 +391,7 @@ pub fn identify(trace: &ProbeTrace, cfg: &IdentifyConfig) -> Result<Identificati
     }
     let disc = Discretizer::from_trace(trace, cfg.num_symbols, cfg.known_floor)
         .ok_or(IdentifyError::DegenerateDelays)?;
-    let estimator = make_estimator(cfg);
-    let pmf = estimator
-        .estimate(trace, &disc)
-        .map_err(estimate_error)?;
+    let (pmf, model) = estimate_with_model(trace, &disc, cfg, warm).map_err(estimate_error)?;
     let cdf = pmf.cdf();
     let sdcl = sdcl_test(&cdf, cfg.numeric_floor);
     let wdcl = wdcl_test(&cdf, cfg.wdcl, cfg.numeric_floor);
@@ -391,18 +451,21 @@ pub fn identify(trace: &ProbeTrace, cfg: &IdentifyConfig) -> Result<Identificati
         bin_width_us: disc.bin_width().as_nanos() / 1_000,
     });
 
-    Ok(Identification {
-        verdict,
-        pmf,
-        sdcl,
-        wdcl,
-        num_probes: trace.len(),
-        loss_rate: trace.loss_rate(),
-        bin_width: disc.bin_width(),
-        bound_basic,
-        bound_heuristic,
-        warnings,
-    })
+    Ok((
+        Identification {
+            verdict,
+            pmf,
+            sdcl,
+            wdcl,
+            num_probes: trace.len(),
+            loss_rate: trace.loss_rate(),
+            bin_width: disc.bin_width(),
+            bound_basic,
+            bound_heuristic,
+            warnings,
+        },
+        model,
+    ))
 }
 
 #[cfg(test)]

@@ -49,6 +49,7 @@ pub mod hyptest;
 pub mod identify;
 pub mod localize;
 pub mod report;
+pub mod stream;
 pub mod sweep;
 
 pub use discretize::Discretizer;
@@ -56,4 +57,5 @@ pub use estimators::{EstimateError, GroundTruth, HmmEstimator, LossPairEstimator
 pub use hyptest::{sdcl_test, wdcl_test, TestOutcome, WdclParams};
 pub use identify::{identify, Identification, IdentifyConfig, IdentifyError, ModelKind, Verdict, Warning};
 pub use localize::{localize, Localization, PrefixProber, SimulatedPrefixProber};
+pub use stream::{StreamConfig, StreamUpdate, StreamingIdentifier, Transition, WindowSpec};
 pub use sweep::{duration_sweep, SweepConfig, SweepPoint, SweepResult};

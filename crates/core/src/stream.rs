@@ -1,0 +1,471 @@
+//! Streaming identification: the batch pipeline run online.
+//!
+//! [`StreamingIdentifier`] accepts probe records one at a time (or in
+//! chunks), maintains a bounded sliding window, and re-runs the full
+//! discretise → fit → SDCL/WDCL pipeline every window hop. Each window's
+//! fit is warm-started from the previous window's model parameters
+//! (`fit_warm` in `dcl-hmm` / `dcl-mmhd`), falling back to the cold
+//! restart schedule when a numerical guard trips, so the per-window cost
+//! is incremental rather than from-scratch.
+//!
+//! Two invariants are pinned by the top-level test suite:
+//!
+//! * **Batch equivalence** — a window covering the whole trace runs the
+//!   exact batch `identify()` code path (it *is* `identify_fitted` with
+//!   no warm state), so the result is bit-identical to batch.
+//! * **Chunking invariance and determinism** — evaluation points are a
+//!   pure function of the total number of probes ingested, never of the
+//!   chunk boundaries; window contents are a pure function of the
+//!   ingested records; warm state is a pure function of previously
+//!   completed windows; and the underlying fits are bitwise identical at
+//!   every thread count. The per-window verdicts, transitions, events
+//!   and metrics therefore depend only on `(records, StreamConfig)`.
+//!
+//! Besides per-window verdicts, the engine emits verdict *transitions*
+//! (a dominant congested link appearing, moving to a different delay
+//! regime, clearing, or persisting) as `dcl-obs` events and
+//! `dcl-metrics` counters — the first-class change signal a long-running
+//! monitor alarms on.
+
+use crate::estimators::FittedModel;
+use crate::identify::{identify_fitted, Identification, IdentifyConfig, IdentifyError, Verdict};
+use dcl_netsim::sim::ProbeRecord;
+use dcl_netsim::time::Dur;
+use dcl_netsim::trace::ProbeTrace;
+use std::collections::VecDeque;
+
+/// How the sliding window is bounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowSpec {
+    /// Keep the most recent `n` probe records.
+    Count(usize),
+    /// Keep the records sent within `d` of the newest record's send time.
+    Duration(Dur),
+}
+
+/// Configuration of a [`StreamingIdentifier`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Sliding-window bound.
+    pub window: WindowSpec,
+    /// Re-evaluate every `hop` ingested probes. For [`WindowSpec::Count`]
+    /// windows the first evaluation happens once the window fills; for
+    /// [`WindowSpec::Duration`] windows evaluation starts at the first
+    /// hop boundary.
+    pub hop: usize,
+    /// Warm-start each window's fit from the previous window's model
+    /// parameters (guarded; trips fall back to the cold restart
+    /// schedule). Disable to cold-start every window.
+    pub warm_start: bool,
+    /// Per-window pipeline configuration. The default disables the fine
+    /// bound re-fit (`estimate_bound: false`): it is the most expensive
+    /// stage of the batch pipeline and a monitor re-deciding every hop
+    /// rarely needs per-window bounds.
+    pub identify: IdentifyConfig,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            window: WindowSpec::Count(3000),
+            hop: 500,
+            warm_start: true,
+            identify: IdentifyConfig {
+                estimate_bound: false,
+                ..IdentifyConfig::default()
+            },
+        }
+    }
+}
+
+/// How the verdict changed relative to the previous *usable* window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// A dominant congested link is now identified where none was.
+    DclAppeared,
+    /// A dominant congested link persists but its delay regime (the mode
+    /// of the loss-delay PMF) changed — the dominant link moved.
+    DclMoved,
+    /// The previously identified dominant congested link is gone.
+    DclCleared,
+    /// No change: same dominance state (and, if dominant, same regime).
+    DclUnchanged,
+}
+
+impl Transition {
+    /// Kebab-case tag used in events, metrics and fixtures.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Transition::DclAppeared => "dcl-appeared",
+            Transition::DclMoved => "dcl-moved",
+            Transition::DclCleared => "dcl-cleared",
+            Transition::DclUnchanged => "dcl-unchanged",
+        }
+    }
+}
+
+/// Outcome of one window evaluation.
+#[derive(Debug, Clone)]
+pub struct StreamUpdate {
+    /// 0-based index of this window among all evaluations.
+    pub window_index: usize,
+    /// Sequence number of the oldest record in the window.
+    pub first_seq: u64,
+    /// Sequence number of the newest record in the window.
+    pub last_seq: u64,
+    /// Records in the window when it was evaluated.
+    pub window_len: usize,
+    /// Was this window's fit warm-started from the previous window?
+    pub warm: bool,
+    /// Verdict transition relative to the previous usable window; `None`
+    /// when this window was unusable (its `result` is an error).
+    pub transition: Option<Transition>,
+    /// The per-window identification report, or the typed reason this
+    /// window could not support one (e.g. no losses in the window). An
+    /// unusable window keeps the previous verdict state.
+    pub result: Result<Identification, IdentifyError>,
+}
+
+/// Online windowed identification over a stream of probe records.
+///
+/// See the [module docs](self) for the windowing, warm-start and
+/// determinism semantics.
+#[derive(Debug)]
+pub struct StreamingIdentifier {
+    cfg: StreamConfig,
+    base_delay: Dur,
+    interval: Dur,
+    buf: VecDeque<ProbeRecord>,
+    ingested: usize,
+    evaluated_at: usize,
+    windows: usize,
+    /// Verdict and PMF mode of the last usable window.
+    prev: Option<(Verdict, usize)>,
+    warm: Option<FittedModel>,
+}
+
+impl StreamingIdentifier {
+    /// A new engine. `base_delay` and `interval` describe the probe
+    /// stream exactly as on [`ProbeTrace`] (for traces, prefer
+    /// [`StreamingIdentifier::run_trace`]).
+    ///
+    /// # Panics
+    /// If the hop is zero or a count window is empty.
+    pub fn new(cfg: StreamConfig, base_delay: Dur, interval: Dur) -> StreamingIdentifier {
+        assert!(cfg.hop > 0, "hop must be at least 1");
+        if let WindowSpec::Count(w) = cfg.window {
+            assert!(w > 0, "count window must be non-empty");
+        }
+        StreamingIdentifier {
+            cfg,
+            base_delay,
+            interval,
+            buf: VecDeque::new(),
+            ingested: 0,
+            evaluated_at: 0,
+            windows: 0,
+            prev: None,
+            warm: None,
+        }
+    }
+
+    /// Ingest one probe record; returns the window evaluation when this
+    /// record lands on an evaluation point.
+    pub fn push(&mut self, record: ProbeRecord) -> Option<StreamUpdate> {
+        self.buf.push_back(record);
+        self.ingested += 1;
+        self.trim();
+        if self.due() {
+            Some(self.evaluate())
+        } else {
+            None
+        }
+    }
+
+    /// Ingest a chunk of records; returns every window evaluation the
+    /// chunk triggered, in order. Splitting a stream into different
+    /// chunks cannot change the evaluations (chunking invariance).
+    pub fn push_chunk(&mut self, records: &[ProbeRecord]) -> Vec<StreamUpdate> {
+        records.iter().filter_map(|r| self.push(r.clone())).collect()
+    }
+
+    /// Evaluate the tail window if the stream did not end exactly on an
+    /// evaluation point (e.g. a count window that never filled).
+    pub fn flush(&mut self) -> Option<StreamUpdate> {
+        if self.buf.is_empty() || self.evaluated_at == self.ingested {
+            return None;
+        }
+        Some(self.evaluate())
+    }
+
+    /// Total records ingested so far.
+    pub fn ingested(&self) -> usize {
+        self.ingested
+    }
+
+    /// Windows evaluated so far.
+    pub fn windows_evaluated(&self) -> usize {
+        self.windows
+    }
+
+    /// Convenience: stream a whole trace through a fresh engine (chunked
+    /// ingest plus a final [`StreamingIdentifier::flush`]) and collect
+    /// every window evaluation.
+    pub fn run_trace(trace: &ProbeTrace, cfg: StreamConfig) -> Vec<StreamUpdate> {
+        let mut engine = StreamingIdentifier::new(cfg, trace.base_delay, trace.interval);
+        let mut updates = engine.push_chunk(&trace.records);
+        updates.extend(engine.flush());
+        updates
+    }
+
+    /// Is the current ingest count an evaluation point? A pure function
+    /// of `(cfg, ingested)` — chunk boundaries cannot influence it.
+    fn due(&self) -> bool {
+        match self.cfg.window {
+            WindowSpec::Count(w) => {
+                self.ingested >= w && (self.ingested - w) % self.cfg.hop == 0
+            }
+            WindowSpec::Duration(_) => self.ingested % self.cfg.hop == 0,
+        }
+    }
+
+    /// Drop records that fell out of the window bound.
+    fn trim(&mut self) {
+        match self.cfg.window {
+            WindowSpec::Count(w) => {
+                while self.buf.len() > w {
+                    self.buf.pop_front();
+                }
+            }
+            WindowSpec::Duration(d) => {
+                // Send times can be non-monotonic on faulted streams;
+                // saturating age keeps such records instead of panicking.
+                let newest = match self.buf.back() {
+                    Some(r) => r.stamp.sent_at,
+                    None => return,
+                };
+                while let Some(front) = self.buf.front() {
+                    if newest.saturating_since(front.stamp.sent_at) > d {
+                        self.buf.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Transition implied by a usable window's verdict and PMF mode.
+    fn transition_for(&self, verdict: Verdict, mode: usize) -> Transition {
+        let dominant = verdict != Verdict::NoDominant;
+        match self.prev {
+            None => {
+                if dominant {
+                    Transition::DclAppeared
+                } else {
+                    Transition::DclUnchanged
+                }
+            }
+            Some((prev_verdict, prev_mode)) => {
+                let was_dominant = prev_verdict != Verdict::NoDominant;
+                match (was_dominant, dominant) {
+                    (false, true) => Transition::DclAppeared,
+                    (true, false) => Transition::DclCleared,
+                    (true, true) if prev_mode != mode => Transition::DclMoved,
+                    _ => Transition::DclUnchanged,
+                }
+            }
+        }
+    }
+
+    /// Run the pipeline on the current window contents.
+    fn evaluate(&mut self) -> StreamUpdate {
+        let _span = dcl_obs::span("stream.window");
+        let records: Vec<ProbeRecord> = self.buf.iter().cloned().collect();
+        let first_seq = records.first().map_or(0, |r| r.stamp.seq);
+        let last_seq = records.last().map_or(0, |r| r.stamp.seq);
+        let window_len = records.len();
+        let wtrace = ProbeTrace {
+            records,
+            base_delay: self.base_delay,
+            interval: self.interval,
+        };
+        let warm_in = if self.cfg.warm_start {
+            self.warm.as_ref()
+        } else {
+            None
+        };
+        let used_warm = warm_in.is_some();
+        let window_index = self.windows;
+        self.windows += 1;
+        self.evaluated_at = self.ingested;
+        dcl_metrics::counter("stream.windows", 1);
+        if used_warm {
+            dcl_metrics::counter("stream.windows.warm", 1);
+        }
+        let (result, transition) = match identify_fitted(&wtrace, &self.cfg.identify, warm_in) {
+            Ok((report, model)) => {
+                if self.cfg.warm_start {
+                    self.warm = Some(model);
+                }
+                let mode = report.pmf.mode();
+                let transition = self.transition_for(report.verdict, mode);
+                let prev_verdict = self.prev.map(|(v, _)| v);
+                self.prev = Some((report.verdict, mode));
+                dcl_metrics::counter(
+                    match transition {
+                        Transition::DclAppeared => "stream.transitions.appeared",
+                        Transition::DclMoved => "stream.transitions.moved",
+                        Transition::DclCleared => "stream.transitions.cleared",
+                        Transition::DclUnchanged => "stream.transitions.unchanged",
+                    },
+                    1,
+                );
+                dcl_obs::record_with(|| dcl_obs::Event::VerdictTransition {
+                    transition: transition.tag().to_string(),
+                    window: window_index,
+                    verdict: verdict_tag(report.verdict).to_string(),
+                    prev_verdict: prev_verdict.map_or("none", verdict_tag).to_string(),
+                    mode,
+                    num_probes: report.num_probes,
+                    loss_rate: report.loss_rate,
+                });
+                (Ok(report), Some(transition))
+            }
+            Err(e) => {
+                // An unusable window (e.g. no losses inside it) keeps the
+                // previous verdict state and emits no transition.
+                dcl_metrics::counter("stream.windows.unusable", 1);
+                (Err(e), None)
+            }
+        };
+        StreamUpdate {
+            window_index,
+            first_seq,
+            last_seq,
+            window_len,
+            warm: used_warm,
+            transition,
+            result,
+        }
+    }
+}
+
+/// Kebab-case verdict tag matching the batch `identification` event.
+fn verdict_tag(v: Verdict) -> &'static str {
+    match v {
+        Verdict::StronglyDominant => "strongly-dominant",
+        Verdict::WeaklyDominant => "weakly-dominant",
+        Verdict::NoDominant => "no-dominant",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcl_netsim::packet::ProbeStamp;
+    use dcl_netsim::time::Time;
+
+    /// A loss-free trace: every window errors with `NoLosses` quickly,
+    /// which makes the windowing mechanics cheap to exercise.
+    fn lossless_trace(n: usize) -> ProbeTrace {
+        let records = (0..n)
+            .map(|i| {
+                let sent = Time::from_secs(i as f64 * 0.02);
+                let stamp = ProbeStamp::new(i as u64, None, sent);
+                ProbeRecord {
+                    stamp,
+                    arrival: Some(sent + Dur::from_millis(25.0 + (i % 50) as f64)),
+                }
+            })
+            .collect();
+        ProbeTrace {
+            records,
+            base_delay: Dur::from_millis(20.0),
+            interval: Dur::from_millis(20.0),
+        }
+    }
+
+    fn count_cfg(window: usize, hop: usize) -> StreamConfig {
+        StreamConfig {
+            window: WindowSpec::Count(window),
+            hop,
+            ..StreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn count_window_evaluates_on_fill_then_every_hop() {
+        let trace = lossless_trace(100);
+        let updates = StreamingIdentifier::run_trace(&trace, count_cfg(50, 10));
+        // Evaluations at ingested = 50, 60, 70, 80, 90, 100; the stream
+        // ends exactly on an evaluation point, so flush adds nothing.
+        assert_eq!(updates.len(), 6);
+        for (i, u) in updates.iter().enumerate() {
+            assert_eq!(u.window_index, i);
+            assert_eq!(u.window_len, 50);
+            assert_eq!(u.last_seq, (49 + 10 * i) as u64);
+            assert_eq!(u.first_seq, u.last_seq - 49);
+            assert_eq!(u.result, Err(IdentifyError::NoLosses));
+            assert_eq!(u.transition, None);
+        }
+    }
+
+    #[test]
+    fn flush_evaluates_a_tail_window_exactly_once() {
+        let trace = lossless_trace(55);
+        let mut engine =
+            StreamingIdentifier::new(count_cfg(50, 10), trace.base_delay, trace.interval);
+        let mut updates = engine.push_chunk(&trace.records);
+        assert_eq!(updates.len(), 1); // at ingested = 50
+        updates.extend(engine.flush());
+        assert_eq!(updates.len(), 2); // tail at ingested = 55
+        assert_eq!(updates[1].last_seq, 54);
+        assert!(engine.flush().is_none(), "flush must be idempotent");
+    }
+
+    #[test]
+    fn duration_window_drops_old_records() {
+        let trace = lossless_trace(100);
+        let cfg = StreamConfig {
+            // 20 ms spacing: a 500 ms window holds ~26 records.
+            window: WindowSpec::Duration(Dur::from_millis(500.0)),
+            hop: 25,
+            ..StreamConfig::default()
+        };
+        let updates = StreamingIdentifier::run_trace(&trace, cfg);
+        assert_eq!(updates.len(), 4); // at 25, 50, 75, 100
+        for u in &updates {
+            assert!(u.window_len <= 26, "window too large: {}", u.window_len);
+        }
+        assert_eq!(updates[3].last_seq, 99);
+        assert!(updates[3].first_seq >= 74);
+    }
+
+    #[test]
+    fn per_record_and_chunked_ingest_agree() {
+        let trace = lossless_trace(120);
+        let reference = StreamingIdentifier::run_trace(&trace, count_cfg(40, 20));
+        let mut chunked =
+            StreamingIdentifier::new(count_cfg(40, 20), trace.base_delay, trace.interval);
+        let mut updates = Vec::new();
+        for chunk in trace.records.chunks(7) {
+            updates.extend(chunked.push_chunk(chunk));
+        }
+        updates.extend(chunked.flush());
+        assert_eq!(reference.len(), updates.len());
+        for (a, b) in reference.iter().zip(&updates) {
+            assert_eq!(a.window_index, b.window_index);
+            assert_eq!((a.first_seq, a.last_seq, a.window_len), (b.first_seq, b.last_seq, b.window_len));
+            assert_eq!(a.result, b.result);
+        }
+    }
+
+    #[test]
+    fn transition_tags_are_stable() {
+        assert_eq!(Transition::DclAppeared.tag(), "dcl-appeared");
+        assert_eq!(Transition::DclMoved.tag(), "dcl-moved");
+        assert_eq!(Transition::DclCleared.tag(), "dcl-cleared");
+        assert_eq!(Transition::DclUnchanged.tag(), "dcl-unchanged");
+    }
+}

@@ -16,7 +16,7 @@
 mod em;
 mod model;
 
-pub use em::{em_step, em_step_with, fit, try_fit, EmOptions, EmScratch, FitResult};
+pub use em::{em_step, em_step_with, fit, fit_warm, try_fit, EmOptions, EmScratch, FitResult};
 pub use model::Hmm;
 
 #[cfg(test)]

@@ -275,11 +275,19 @@ const LL_DECREASE_SLACK: f64 = 1e-8;
 /// name of the numerical guard that tripped.
 fn em_attempt(obs: &[Obs], opts: &EmOptions, r: usize, rng_seed: u64) -> Result<FitResult, &'static str> {
     let mut rng = SmallRng::seed_from_u64(rng_seed);
-    let mut model = if opts.empirical_init {
+    let model = if opts.empirical_init {
         Mmhd::empirical_init(obs, opts.num_hidden, opts.num_symbols, &mut rng)
     } else {
         Mmhd::random(opts.num_hidden, opts.num_symbols, &mut rng)
     };
+    em_trajectory(obs, opts, r, model)
+}
+
+/// One guarded EM trajectory from a concrete initial model (random or
+/// empirical for the restart schedule, the previous window's parameters
+/// for [`fit_warm`]). The restart index `r` only labels observability
+/// events.
+fn em_trajectory(obs: &[Obs], opts: &EmOptions, r: usize, mut model: Mmhd) -> Result<FitResult, &'static str> {
     model.set_tied_loss(opts.tied_loss);
     if opts.restrict_loss_to_observed {
         apply_loss_restriction(&mut model.c, opts.num_symbols, obs);
@@ -430,6 +438,54 @@ pub fn try_fit(obs: &[Obs], opts: &EmOptions) -> Result<FitResult, FitError> {
 /// [`try_fit`] on untrusted measurement data.
 pub fn fit(obs: &[Obs], opts: &EmOptions) -> FitResult {
     try_fit(obs, opts).unwrap_or_else(|e| panic!("mmhd fit failed: {e}"))
+}
+
+/// Fit an MMHD to `obs` warm-started from a previously fitted model
+/// instead of the restart schedule.
+///
+/// The streaming engine refits overlapping windows whose optimum moves
+/// slowly; seeding EM from the previous window's parameters typically
+/// converges in a handful of iterations. The warm trajectory runs the
+/// same guarded iteration as a restart (tied-loss mode and loss
+/// restriction re-applied for the *current* observations, the same
+/// non-finite/decrease guards). If it trips a guard — or `init` has the
+/// wrong dimensions for `opts` — the fit falls back to the full
+/// [`try_fit`] restart schedule, and the trip is included in
+/// [`FitResult::guard_trips`]. The result is a pure function of
+/// `(obs, opts, init)`: the warm path draws no random numbers and the
+/// fallback uses the deterministic restart seeds, so warm fits preserve
+/// bitwise reproducibility at every thread count.
+pub fn fit_warm(obs: &[Obs], opts: &EmOptions, init: &Mmhd) -> Result<FitResult, FitError> {
+    validate_sequence(obs, opts.num_symbols).map_err(FitError::InvalidSequence)?;
+    assert!(opts.num_hidden > 0 && opts.restarts > 0);
+    if init.num_hidden() == opts.num_hidden && init.num_symbols() == opts.num_symbols {
+        dcl_metrics::counter("mmhd.em.warm_starts", 1);
+        let warm = {
+            let _span = dcl_obs::span("mmhd.em.warm");
+            em_trajectory(obs, opts, 0, init.clone())
+        };
+        match warm {
+            Ok(fit) => return Ok(fit),
+            Err(reason) => {
+                dcl_metrics::counter("mmhd.em.guard_trips", 1);
+                dcl_metrics::counter("mmhd.em.warm_fallbacks", 1);
+                dcl_obs::record_with(|| dcl_obs::Event::EmGuard {
+                    model: "mmhd".to_string(),
+                    restart: 0,
+                    // Attempt 0 marks the warm trajectory; restart-schedule
+                    // retries start counting attempts at 1.
+                    attempt: 0,
+                    reason: format!("warm:{reason}"),
+                });
+                let mut fit = try_fit(obs, opts)?;
+                fit.guard_trips += 1;
+                return Ok(fit);
+            }
+        }
+    }
+    // `init` cannot seed this fit (dimension change): cold-start instead.
+    dcl_metrics::counter("mmhd.em.warm_fallbacks", 1);
+    try_fit(obs, opts)
 }
 
 

@@ -22,7 +22,7 @@
 mod em;
 mod model;
 
-pub use em::{em_step, em_step_with, fit, fit_select, try_fit, EmOptions, EmScratch, FitResult, SelectionResult};
+pub use em::{em_step, em_step_with, fit, fit_select, fit_warm, try_fit, EmOptions, EmScratch, FitResult, SelectionResult};
 pub use model::Mmhd;
 
 #[cfg(test)]

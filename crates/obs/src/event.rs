@@ -145,6 +145,31 @@ pub enum Event {
         bin_width_us: u64,
     },
 
+    /// One streaming window's verdict relative to the previous usable
+    /// window: the dominant congested link appeared, moved to a
+    /// different delay regime, cleared, or persisted. Kind tag:
+    /// `verdict-transition`.
+    VerdictTransition {
+        /// Transition tag ("dcl-appeared", "dcl-moved", "dcl-cleared",
+        /// "dcl-unchanged").
+        transition: String,
+        /// 0-based streaming window index.
+        window: usize,
+        /// This window's verdict ("strongly-dominant",
+        /// "weakly-dominant", "no-dominant").
+        verdict: String,
+        /// The previous usable window's verdict, or "none" for the first
+        /// usable window.
+        prev_verdict: String,
+        /// Mode (symbol index) of this window's loss-delay PMF — the
+        /// dominant delay regime whose change defines "moved".
+        mode: usize,
+        /// Probes in the window.
+        num_probes: usize,
+        /// Probe loss rate in the window.
+        loss_rate: f64,
+    },
+
     /// Wall-clock timing of a named code region. Kind tag: `span-timing`.
     SpanTiming {
         /// Region name ("hmm.em.restart", "sweep.cell", ...).
@@ -174,6 +199,7 @@ impl Event {
             Event::QueueStats { .. } => "queue-stats",
             Event::TestDecision { .. } => "test-decision",
             Event::Identification { .. } => "identification",
+            Event::VerdictTransition { .. } => "verdict-transition",
             Event::SpanTiming { .. } => "span-timing",
             Event::Counter { .. } => "counter",
         }
@@ -210,6 +236,7 @@ impl Event {
                 ..
             } => f_at_2d_star.is_finite() && threshold.is_finite(),
             Event::Identification { loss_rate, .. } => loss_rate.is_finite(),
+            Event::VerdictTransition { loss_rate, .. } => loss_rate.is_finite(),
             Event::EmGuard { .. }
             | Event::FaultInjection { .. }
             | Event::QueueStats { .. }
@@ -322,6 +349,24 @@ impl Serialize for Event {
                 "loss_rate": *loss_rate,
                 "bin_width_us": *bin_width_us,
             }),
+            Event::VerdictTransition {
+                transition,
+                window,
+                verdict,
+                prev_verdict,
+                mode,
+                num_probes,
+                loss_rate,
+            } => json!({
+                "kind": "verdict-transition",
+                "transition": transition.clone(),
+                "window": *window,
+                "verdict": verdict.clone(),
+                "prev_verdict": prev_verdict.clone(),
+                "mode": *mode,
+                "num_probes": *num_probes,
+                "loss_rate": *loss_rate,
+            }),
             Event::SpanTiming { name, wall_ns } => json!({
                 "kind": "span-timing",
                 "name": name.clone(),
@@ -432,6 +477,15 @@ impl Deserialize for Event {
                 loss_rate: f("loss_rate")?,
                 bin_width_us: u("bin_width_us")?,
             }),
+            "verdict-transition" => Ok(Event::VerdictTransition {
+                transition: s("transition")?,
+                window: u("window")? as usize,
+                verdict: s("verdict")?,
+                prev_verdict: s("prev_verdict")?,
+                mode: u("mode")? as usize,
+                num_probes: u("num_probes")? as usize,
+                loss_rate: f("loss_rate")?,
+            }),
             "span-timing" => Ok(Event::SpanTiming {
                 name: s("name")?,
                 wall_ns: u("wall_ns")?,
@@ -507,6 +561,15 @@ mod tests {
                 num_probes: 15000,
                 loss_rate: 0.015625,
                 bin_width_us: 32_000,
+            },
+            Event::VerdictTransition {
+                transition: "dcl-moved".into(),
+                window: 7,
+                verdict: "strongly-dominant".into(),
+                prev_verdict: "weakly-dominant".into(),
+                mode: 4,
+                num_probes: 3000,
+                loss_rate: 0.03125,
             },
             Event::SpanTiming {
                 name: "sweep.cell".into(),

@@ -160,6 +160,8 @@ build_tests() {
   tbin it_parallel_determinism tests/parallel_determinism.rs $FACADE_EXT
   tbin it_golden_regression tests/golden_regression.rs $FACADE_EXT $E_BENCH $E_SERDE
   tbin it_fault_robustness tests/fault_robustness.rs $FACADE_EXT
+  tbin it_streaming_equivalence tests/streaming_equivalence.rs $FACADE_EXT
+  tbin it_streaming_props tests/streaming_proptests.rs $FACADE_EXT
 }
 
 build_bins() {
@@ -202,7 +204,7 @@ run_tests() {
            it_mmhd_prop it_losspair_prop it_clocksync_prop it_inet_pipeline \
            it_metrics_prop it_core_prop it_end_to_end it_baselines it_clock_pipeline \
            it_ext_localization it_parallel_determinism it_golden_regression \
-           ut_faults it_fault_robustness; do
+           ut_faults it_fault_robustness it_streaming_equivalence it_streaming_props; do
     [ -x "$OUT/$t" ] || continue
     echo "-- $t"
     if ! "$OUT/$t" -q; then failed=1; fi
@@ -235,6 +237,18 @@ fault_smoke() {
   rm -f "$artifact"
 }
 
+streaming_smoke() {
+  echo "== streaming smoke run + artifact validation"
+  local artifact
+  artifact=$(mktemp -t dcl-stream-smoke.XXXXXX.jsonl)
+  # A quick migrating-DCL replay through the streaming engine; the
+  # artifact must parse through the Event schema and contain
+  # verdict-transition events alongside the per-window pipeline events.
+  "$OUT/bin_streaming" --quick --obs "$artifact" > /dev/null
+  "$OUT/bin_obs_check" "$artifact" 3
+  rm -f "$artifact"
+}
+
 perf_smoke() {
   echo "== perf trajectory smoke run + artifact validation"
   local report metrics
@@ -254,7 +268,7 @@ case "$MODE" in
   build) build_deps; build_libs ;;
   bins) build_deps; build_bins ;;
   test) build_deps; build_tests; run_tests ;;
-  smoke) obs_smoke; fault_smoke; perf_smoke ;;
-  all) build_deps; build_libs; build_bins; build_tests; run_tests; obs_smoke; fault_smoke; perf_smoke ;;
+  smoke) obs_smoke; fault_smoke; streaming_smoke; perf_smoke ;;
+  all) build_deps; build_libs; build_bins; build_tests; run_tests; obs_smoke; fault_smoke; streaming_smoke; perf_smoke ;;
   *) echo "usage: $0 [build|bins|test|smoke|all]" >&2; exit 2 ;;
 esac

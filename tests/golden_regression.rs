@@ -13,9 +13,12 @@
 //!
 //! and commit the updated fixtures with the change that motivated them.
 
-use dcl_bench::{strongly_setting, WARMUP_SECS};
+use dcl_bench::{migrating_trace, strongly_setting, WARMUP_SECS};
 use dominant_congested_links::identification::identify::{identify, IdentifyConfig, Verdict};
 use dominant_congested_links::identification::sweep::{duration_sweep, SweepConfig};
+use dominant_congested_links::identification::{
+    StreamConfig, StreamingIdentifier, Transition, WindowSpec,
+};
 use dominant_congested_links::netsim::packet::ProbeStamp;
 use dominant_congested_links::netsim::sim::ProbeRecord;
 use dominant_congested_links::netsim::time::{Dur, Time};
@@ -159,4 +162,53 @@ fn duration_sweep_matches_golden() {
     let result = duration_sweep(&trace, &cfg).expect("usable trace");
     let actual = serde_json::to_value(&result).expect("SweepResult serialises");
     check_fixture("sweep_result.json", &actual);
+}
+
+/// The streaming engine's verdict-transition timeline over the
+/// migrating-DCL scenario (strongly dominant → moved to a slower regime
+/// → cleared): window positions, warm flags, verdicts, PMF modes,
+/// loss rates and transition tags, all pinned exactly.
+#[test]
+fn streaming_transition_timeline_matches_golden() {
+    let phase_secs = 40.0; // matches `streaming --quick`
+    let trace = migrating_trace(0xD1CE, phase_secs);
+    let cfg = StreamConfig {
+        window: WindowSpec::Count(1_500),
+        hop: 750,
+        warm_start: true,
+        identify: IdentifyConfig {
+            estimate_bound: false,
+            restarts: 2,
+            ..IdentifyConfig::default()
+        },
+    };
+    let updates = StreamingIdentifier::run_trace(&trace, cfg);
+    let rows: Vec<Value> = updates
+        .iter()
+        .map(|u| {
+            let (verdict, mode, loss_rate) = match &u.result {
+                Ok(r) => (
+                    format!("{:?}", r.verdict),
+                    Some(r.pmf.mode()),
+                    Some(r.loss_rate),
+                ),
+                Err(_) => ("unusable".to_owned(), None, None),
+            };
+            json!({
+                "window": u.window_index,
+                "first_seq": u.first_seq,
+                "last_seq": u.last_seq,
+                "len": u.window_len,
+                "warm": u.warm,
+                "transition": u.transition.as_ref().map(Transition::tag),
+                "verdict": verdict,
+                "mode": mode,
+                "loss_rate": loss_rate,
+            })
+        })
+        .collect();
+    check_fixture(
+        "streaming_timeline.json",
+        &json!({ "phase_secs": phase_secs, "probes": trace.len(), "rows": rows }),
+    );
 }

@@ -1,7 +1,7 @@
 //! Determinism guarantees of the parallel execution layer: every parallel
-//! entry point — HMM fit, MMHD fit, duration sweep — must produce
-//! *bitwise-identical* results at parallelism 1, 2, and the machine
-//! default. Equality is checked on `f64::to_bits`, not with tolerances:
+//! entry point — HMM fit, MMHD fit, duration sweep, streaming windowed
+//! identification — must produce *bitwise-identical* results at
+//! parallelism 1, 2, and the machine default. Equality is checked on `f64::to_bits`, not with tolerances:
 //! the parallel layer distributes work but must never change a single
 //! floating-point operation.
 
@@ -337,6 +337,178 @@ fn enabling_metrics_changes_no_identify_bit() {
 
     assert!(!snapshot.is_empty(), "metrics-on run folded nothing");
     assert_identifications_identical(&on, &off, "metrics on vs off");
+}
+
+use dominant_congested_links::identification::{
+    StreamConfig, StreamUpdate, StreamingIdentifier, WindowSpec,
+};
+
+/// Two-regime trace: losses ride ~165 ms delay bursts in the first half
+/// and ~380 ms bursts in the second, so the loss-delay mode — and with
+/// it the verdict-transition stream — moves mid-run.
+fn shifting_trace(n: usize) -> ProbeTrace {
+    let mut records = Vec::with_capacity(n);
+    for i in 0..n {
+        let sent = Time::from_secs(i as f64 * 0.02);
+        let phase = i % 25;
+        let burst_ms = if i < n / 2 { 165.0 } else { 380.0 };
+        let mut stamp = ProbeStamp::new(i as u64, None, sent);
+        let arrival = if phase == 19 || phase == 21 {
+            stamp.loss_hop = Some(1);
+            None
+        } else if phase >= 17 {
+            Some(sent + Dur::from_millis(burst_ms + (phase % 5) as f64 * 5.0))
+        } else {
+            Some(sent + Dur::from_millis(25.0 + ((i * 11) % 100) as f64))
+        };
+        records.push(ProbeRecord { stamp, arrival });
+    }
+    ProbeTrace {
+        records,
+        base_delay: Dur::from_millis(22.0),
+        interval: Dur::from_millis(20.0),
+    }
+}
+
+fn stream_cfg(parallelism: Option<usize>) -> StreamConfig {
+    StreamConfig {
+        window: WindowSpec::Count(1_000),
+        hop: 500,
+        warm_start: true,
+        identify: IdentifyConfig {
+            estimate_bound: false,
+            restarts: 2,
+            parallelism,
+            ..IdentifyConfig::default()
+        },
+    }
+}
+
+/// Window-by-window equality: positions, warm flags, transitions, and —
+/// for usable windows — the full bitwise report comparison.
+fn assert_updates_identical(a: &[StreamUpdate], b: &[StreamUpdate], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: window count");
+    for (ua, ub) in a.iter().zip(b) {
+        let at = format!("{what}: window {}", ua.window_index);
+        assert_eq!(ua.window_index, ub.window_index, "{at}");
+        assert_eq!(
+            (ua.first_seq, ua.last_seq, ua.window_len, ua.warm),
+            (ub.first_seq, ub.last_seq, ub.window_len, ub.warm),
+            "{at}"
+        );
+        assert_eq!(ua.transition, ub.transition, "{at}: transition");
+        match (&ua.result, &ub.result) {
+            (Ok(ra), Ok(rb)) => assert_identifications_identical(ra, rb, &at),
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb, "{at}"),
+            _ => panic!("{at}: window usability differs"),
+        }
+    }
+}
+
+/// The streaming determinism guarantee: per-window verdicts, the
+/// transition sequence, and the merged canonical event stream of a
+/// windowed run are identical at every thread count.
+#[test]
+fn streaming_transitions_and_events_identical_at_every_thread_count() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let trace = shifting_trace(3_000);
+
+    obs::set_enabled(true);
+    let mut runs = Vec::new();
+    for p in PARALLELISMS {
+        let (updates, events) =
+            obs::capture(|| StreamingIdentifier::run_trace(&trace, stream_cfg(p)));
+        let canonical: Vec<obs::Event> = events.iter().map(obs::Event::canonical).collect();
+        runs.push((p, updates, canonical));
+    }
+    obs::set_enabled(false);
+
+    let (_, ref_updates, ref_stream) = &runs[0];
+    assert!(ref_updates.len() >= 4, "expected several windows");
+    assert!(
+        ref_updates.iter().any(|u| u.transition.is_some()),
+        "no usable window in the streaming run"
+    );
+    assert!(
+        ref_stream.iter().any(|e| e.kind() == "verdict-transition"),
+        "no verdict-transition event in the streaming run"
+    );
+    for (p, updates, stream) in &runs[1..] {
+        assert_updates_identical(
+            updates,
+            ref_updates,
+            &format!("streaming at parallelism {p:?}"),
+        );
+        assert_eq!(
+            stream.len(),
+            ref_stream.len(),
+            "event count differs at parallelism {p:?}"
+        );
+        for (i, (ev, ref_ev)) in stream.iter().zip(ref_stream).enumerate() {
+            assert_eq!(ev, ref_ev, "event {i} differs at parallelism {p:?}");
+        }
+    }
+}
+
+/// The streaming metrics guarantee: the canonical registry snapshot of a
+/// windowed run — window counters, warm-start counters, transition
+/// counters, EM folds — is bit-identical at every thread count.
+#[test]
+fn streaming_metrics_snapshot_identical_at_every_thread_count() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let trace = shifting_trace(3_000);
+
+    let mut runs = Vec::new();
+    for p in PARALLELISMS {
+        let _ = metrics::finish(); // clean slate, registry disabled
+        metrics::set_enabled(true);
+        let updates = StreamingIdentifier::run_trace(&trace, stream_cfg(p));
+        let snapshot = metrics::finish().expect("registry was enabled");
+        runs.push((p, updates, snapshot.canonical()));
+    }
+
+    let (_, ref_updates, ref_snapshot) = &runs[0];
+    for key in ["stream.windows", "stream.windows.warm", "identify.runs"] {
+        assert!(
+            ref_snapshot.counters.contains_key(key),
+            "no {key:?} counter in streaming snapshot"
+        );
+    }
+    for (p, updates, snapshot) in &runs[1..] {
+        assert_updates_identical(
+            updates,
+            ref_updates,
+            &format!("metrics-instrumented streaming at parallelism {p:?}"),
+        );
+        assert_eq!(
+            snapshot, ref_snapshot,
+            "canonical metrics snapshot differs at parallelism {p:?}"
+        );
+    }
+}
+
+/// Enabling instrumentation (events *and* metrics) must not change a
+/// single bit of any streaming window's report, transition, or warm
+/// state.
+#[test]
+fn enabling_instrumentation_changes_no_streaming_bit() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let trace = shifting_trace(2_000);
+    let cfg = stream_cfg(Some(2));
+
+    obs::set_enabled(false);
+    let _ = metrics::finish();
+    let off = StreamingIdentifier::run_trace(&trace, cfg);
+
+    obs::set_enabled(true);
+    metrics::set_enabled(true);
+    let (on, events) = obs::capture(|| StreamingIdentifier::run_trace(&trace, cfg));
+    let snapshot = metrics::finish().expect("registry was enabled");
+    obs::set_enabled(false);
+
+    assert!(!events.is_empty(), "instrumented run emitted no events");
+    assert!(!snapshot.is_empty(), "instrumented run folded no metrics");
+    assert_updates_identical(&on, &off, "streaming obs+metrics on vs off");
 }
 
 /// The environment default also pins the inner EM parallelism: an
